@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper through the
+corresponding driver in :mod:`repro.harness`, records the rendered result
+under ``benchmarks/results/<experiment id>.txt`` and prints it (visible with
+``pytest -s``).  The pytest-benchmark fixture times the driver itself, so
+``pytest benchmarks/ --benchmark-only`` reports one wall-clock figure per
+experiment alongside the recorded tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.harness.results import ExperimentResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(result: ExperimentResult) -> ExperimentResult:
+    """Write the experiment's text report to benchmarks/results/ and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.to_text()
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+    return result
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,16 @@
+"""Figure 8 / Table 3 — topic-level cluster evolution on the news stream."""
+
+from _bench_utils import record, run_once
+
+from repro.harness import scenarios
+
+
+def bench_fig08_news_evolution(benchmark):
+    result = run_once(benchmark, lambda: scenarios.experiment_news_evolution(n_points=6000))
+    record(result)
+    counts = result.tables["event_counts"][0]
+    observed_types = {row["type"] for row in result.tables["observed_events"]}
+    # The scripted merges and splits of Table 3 must surface as events.
+    assert counts["merge"] + counts["split"] >= 2
+    assert "merge" in observed_types or "split" in observed_types
+    assert result.metadata["n_clusters_final"] >= 2

@@ -1,0 +1,22 @@
+"""Figure 12 — response time while varying the data dimensionality (HDS)."""
+
+from _bench_utils import record, run_once
+
+from repro.harness import experiments
+
+
+def bench_fig12_dimensions(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: experiments.experiment_dimensions(
+            dimensions=(10, 30, 100, 300),
+            algorithms=("EDMStream", "D-Stream", "DenStream", "DBSTREAM", "MR-Stream"),
+            n_points=3000,
+            checkpoint_every=1000,
+        ),
+    )
+    record(result)
+    series = result.series["EDMStream"]
+    # Response time grows with the dimensionality (more per-distance work).
+    assert series.y[-1] >= series.y[0]
+    assert all(y > 0 for y in series.y)

@@ -1,0 +1,12 @@
+"""Table 2 — the dataset inventory (paper values + surrogate properties)."""
+
+from _bench_utils import record, run_once
+
+from repro.harness import experiments
+
+
+def bench_table2_datasets(benchmark):
+    result = run_once(benchmark, lambda: experiments.experiment_table2(surrogate_points=2000))
+    record(result)
+    assert len(result.tables["paper"]) == 10
+    assert len(result.tables["surrogates"]) == 5

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Adaptive τ demo (Section 5, Figure 15, Table 4).
+
+τ controls the cluster-separation granularity: dependency links longer than
+τ cut the DP-Tree into separate clusters.  A fixed τ chosen at the start of
+the stream goes stale as the data distribution evolves; EDMStream instead
+learns the user's granularity preference (α) from the initial decision-graph
+choice and re-optimises τ continuously.
+
+This demo runs the SDS stream twice — once with the adaptive τ and once with
+the τ frozen at its initial value — and prints the number of clusters per
+second side by side, plus the evolution of the adaptive τ value itself.
+
+Run with::
+
+    python examples/adaptive_tau_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table
+from repro.harness.scenarios import experiment_adaptive_tau
+
+
+def main() -> None:
+    result = experiment_adaptive_tau(n_points=20000, rate=1000.0, static_tau=5.0)
+
+    print("number of clusters over the first 10 seconds (Table 4)")
+    print(format_table(result.tables["table4"]))
+
+    print(f"\nlearned alpha = {result.metadata['alpha']:.2f}, "
+          f"static tau = {result.metadata['static_tau']}")
+
+    print("\nadaptive tau value over time")
+    tau_series = result.series["tau_over_time"]
+    rows = [
+        {"time (s)": round(x, 1), "tau": round(y, 3)}
+        for x, y in zip(tau_series.x, tau_series.y)
+    ]
+    print(format_table(rows[:15]))
+
+    dynamic = result.series["dynamic_tau"]
+    static = result.series["static_tau"]
+    differing = [
+        int(x) for x, yd, ys in zip(dynamic.x, dynamic.y, static.y) if yd != ys
+    ]
+    if differing:
+        print(
+            "\nThe two strategies disagree at seconds "
+            + ", ".join(str(s) for s in differing[:10])
+            + " — the adaptive τ keeps tracking the true number of density "
+            "mountains while the static τ goes stale as the clusters move."
+        )
+    else:
+        print("\nBoth strategies agree on this run; try a different seed or static tau.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Online DP-Tree evolution tracking vs offline MONIC / MEC.
+
+The paper argues (Sections 1 and 7) that existing stream clusterers need an
+*additional offline procedure* — MONIC or MEC — to detect cluster evolution,
+whereas EDMStream gets the evolution log for free from its DP-Tree updates.
+This demo runs both on the same SDS stream:
+
+* EDMStream's native evolution tracker records events online;
+* a :class:`~repro.tracking.SnapshotRecorder` takes an object-level snapshot
+  of the same model once per second and feeds it to MONIC and MEC.
+
+It then prints the per-type event counts, the agreement of the offline logs
+with the online log, and the extra wall-clock time the offline pass costs.
+
+Run with::
+
+    python examples/offline_vs_online_tracking.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table
+from repro.harness.ablations import experiment_tracking_comparison
+
+
+def main() -> None:
+    result = experiment_tracking_comparison(
+        n_points=15000, rate=1000.0, snapshot_every=1.0, window_size=600
+    )
+
+    print("evolution events detected per tracker")
+    print(format_table(result.tables["event_counts"]))
+
+    print("\nagreement of the offline trackers with the online log "
+          "(per event type, 3 s time tolerance)")
+    print(format_table(result.tables["agreement_vs_online"]))
+
+    print("\nwall-clock cost")
+    print(format_table(result.tables["cost"]))
+
+    print(
+        "\nThe offline trackers recover a similar story, but only at snapshot "
+        "granularity and at the cost of re-classifying the whole window of "
+        "recent points every second — overhead EDMStream's online tracking "
+        "avoids entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""EDMStream reproduction: stream clustering by exploring the evolution of density mountain.
+
+This package is a from-scratch reproduction of the VLDB 2017 paper
+*Clustering Stream Data by Exploring the Evolution of Density Mountain*
+(Gong, Zhang, Yu), including the EDMStream algorithm itself, batch Density
+Peaks clustering, the stream-clustering baselines it is compared against
+(DenStream, D-Stream, DBSTREAM, MR-Stream, CluStream), synthetic and
+surrogate workload generators, the CMM quality metric and a benchmark
+harness that regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import EDMStream
+    from repro.streams import SDSGenerator
+
+    stream = SDSGenerator(seed=7).generate()
+    model = EDMStream(radius=0.3, beta=0.001)
+    for point in stream:
+        model.learn_one(point.values, timestamp=point.timestamp)
+    print(model.n_clusters, "clusters")
+"""
+
+from repro.core import (
+    ClusterCell,
+    ClusterEvent,
+    DecayModel,
+    DPTree,
+    EDMStream,
+    EDMStreamConfig,
+    EvolutionTracker,
+    EvolutionType,
+    OutlierReservoir,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EDMStream",
+    "EDMStreamConfig",
+    "DecayModel",
+    "ClusterCell",
+    "DPTree",
+    "OutlierReservoir",
+    "EvolutionTracker",
+    "EvolutionType",
+    "ClusterEvent",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — run the reproduction experiments from the command line."""
+
+import sys
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

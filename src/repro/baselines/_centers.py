@@ -1,0 +1,102 @@
+"""Small vectorised helper for maintaining a dynamic set of centres.
+
+The micro-cluster based baselines (DenStream, DBSTREAM, CluStream) all need
+the same hot-path primitive as EDMStream: "distance from the arriving point
+to every summary centre".  ``CenterArray`` keeps the centres in a growable
+``numpy`` matrix keyed by integer ids so that the query is a single
+vectorised operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_INITIAL_CAPACITY = 32
+
+
+class CenterArray:
+    """A growable keyed matrix of d-dimensional centres."""
+
+    def __init__(self) -> None:
+        self._ids: List[int] = []
+        self._index: Dict[int, int] = {}
+        self._matrix: Optional[np.ndarray] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._index
+
+    def ids(self) -> List[int]:
+        """Keys in array order (a copy)."""
+        return list(self._ids)
+
+    def _ensure_capacity(self, dimension: int) -> None:
+        if self._matrix is None:
+            self._matrix = np.zeros((_INITIAL_CAPACITY, dimension), dtype=float)
+        elif self._size >= self._matrix.shape[0]:
+            grown = np.zeros((self._matrix.shape[0] * 2, dimension), dtype=float)
+            grown[: self._size] = self._matrix[: self._size]
+            self._matrix = grown
+
+    def add(self, key: int, center: Sequence[float]) -> None:
+        """Insert a centre under ``key``; raises ``KeyError`` on duplicates."""
+        if key in self._index:
+            raise KeyError(f"key {key} already present")
+        vector = np.asarray(center, dtype=float)
+        self._ensure_capacity(vector.shape[0])
+        if vector.shape[0] != self._matrix.shape[1]:
+            raise ValueError(
+                f"center dimension {vector.shape[0]} does not match {self._matrix.shape[1]}"
+            )
+        self._matrix[self._size] = vector
+        self._index[key] = self._size
+        self._ids.append(key)
+        self._size += 1
+
+    def update(self, key: int, center: Sequence[float]) -> None:
+        """Overwrite the centre stored under ``key``."""
+        position = self._index[key]
+        self._matrix[position] = np.asarray(center, dtype=float)
+
+    def remove(self, key: int) -> None:
+        """Remove a centre (swap-with-last compaction)."""
+        position = self._index.pop(key)
+        last = self._size - 1
+        if position != last:
+            moved = self._ids[last]
+            self._ids[position] = moved
+            self._index[moved] = position
+            self._matrix[position] = self._matrix[last]
+        self._ids.pop()
+        self._size -= 1
+
+    def get(self, key: int) -> np.ndarray:
+        """Return (a copy of) the centre stored under ``key``."""
+        return self._matrix[self._index[key]].copy()
+
+    def distances_to(self, point: Sequence[float]) -> Tuple[List[int], np.ndarray]:
+        """Return (keys, distances) from ``point`` to every stored centre."""
+        if self._size == 0:
+            return [], np.empty(0, dtype=float)
+        query = np.asarray(point, dtype=float)
+        diffs = self._matrix[: self._size] - query
+        return list(self._ids), np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+
+    def nearest(self, point: Sequence[float]) -> Optional[Tuple[int, float]]:
+        """Nearest stored centre as ``(key, distance)`` or ``None`` if empty."""
+        keys, distances = self.distances_to(point)
+        if not keys:
+            return None
+        position = int(np.argmin(distances))
+        return keys[position], float(distances[position])
+
+    def matrix(self) -> np.ndarray:
+        """The centres stacked into an ``(n, d)`` array (a copy, array order)."""
+        if self._size == 0 or self._matrix is None:
+            return np.empty((0, 0), dtype=float)
+        return self._matrix[: self._size].copy()

@@ -1,0 +1,420 @@
+"""BIRCH (Zhang, Ramakrishnan & Livny, SIGMOD 1996) with a CF-Tree.
+
+BIRCH is the earliest stream-capable clustering algorithm and the paper's
+Section 7 contrasts its CF-Tree against the DP-Tree: CF-Tree nodes are
+*clusters at some granularity* (each entry summarises a sub-cluster by a
+clustering feature), whereas DP-Tree nodes are cluster-cells whose links
+encode the density-dependency relationship.  This module implements:
+
+* :class:`ClusteringFeature` — the (N, LS, SS) summary triple,
+* :class:`CFTree` — the height-balanced insertion tree with node splitting,
+* :class:`Birch` — the :class:`~repro.baselines.base.StreamClusterer`
+  wrapper whose offline phase clusters the leaf entries globally (weighted
+  k-means when a target cluster count is given, otherwise agglomerative
+  merging of leaf centroids by distance threshold).
+
+BIRCH has no decay model; it is included as a structural comparison point
+(the CF-Tree vs DP-Tree ablation), not as one of the paper's Section 6
+competitors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import StreamClusterer
+from repro.baselines.kmeans import KMeans
+
+
+@dataclass
+class ClusteringFeature:
+    """A clustering feature: point count N, linear sum LS and square sum SS."""
+
+    n: float
+    linear_sum: np.ndarray
+    square_sum: float
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "ClusteringFeature":
+        """CF of a single point."""
+        vector = np.asarray(point, dtype=float)
+        return cls(n=1.0, linear_sum=vector.copy(), square_sum=float(vector @ vector))
+
+    @classmethod
+    def empty(cls, dimension: int) -> "ClusteringFeature":
+        """CF of the empty set (additive identity)."""
+        return cls(n=0.0, linear_sum=np.zeros(dimension, dtype=float), square_sum=0.0)
+
+    def copy(self) -> "ClusteringFeature":
+        """A deep copy of the feature."""
+        return ClusteringFeature(
+            n=self.n, linear_sum=self.linear_sum.copy(), square_sum=self.square_sum
+        )
+
+    # CF additivity --------------------------------------------------------
+    def add(self, other: "ClusteringFeature") -> None:
+        """Merge ``other`` into this feature in place (CF additivity theorem)."""
+        self.n += other.n
+        self.linear_sum += other.linear_sum
+        self.square_sum += other.square_sum
+
+    def merged(self, other: "ClusteringFeature") -> "ClusteringFeature":
+        """The CF of the union, as a new object."""
+        result = self.copy()
+        result.add(other)
+        return result
+
+    # Derived statistics ----------------------------------------------------
+    @property
+    def centroid(self) -> np.ndarray:
+        """Centroid LS / N (the origin for an empty feature)."""
+        if self.n <= 0:
+            return np.zeros_like(self.linear_sum)
+        return self.linear_sum / self.n
+
+    @property
+    def radius(self) -> float:
+        """Root-mean-square distance of the summarised points to the centroid."""
+        if self.n <= 0:
+            return 0.0
+        centroid = self.centroid
+        value = self.square_sum / self.n - float(centroid @ centroid)
+        return math.sqrt(max(0.0, value))
+
+    @property
+    def diameter(self) -> float:
+        """Average pairwise distance of the summarised points."""
+        if self.n <= 1:
+            return 0.0
+        value = (2.0 * self.n * self.square_sum - 2.0 * float(self.linear_sum @ self.linear_sum)) / (
+            self.n * (self.n - 1.0)
+        )
+        return math.sqrt(max(0.0, value))
+
+    def centroid_distance(self, other: "ClusteringFeature") -> float:
+        """Euclidean distance between the two centroids."""
+        return float(np.linalg.norm(self.centroid - other.centroid))
+
+
+_leaf_counter = itertools.count(1)
+
+
+class _CFNode:
+    """One node of the CF-Tree (leaf or internal)."""
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        #: Per-entry summary features.
+        self.features: List[ClusteringFeature] = []
+        #: Child nodes (internal nodes only, parallel to ``features``).
+        self.children: List["_CFNode"] = []
+        #: Stable ids for leaf entries (leaves only, parallel to ``features``).
+        self.entry_ids: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def nearest_entry(self, feature: ClusteringFeature) -> int:
+        """Index of the entry whose centroid is closest to ``feature``'s."""
+        centroid = feature.centroid
+        best, best_distance = 0, float("inf")
+        for i, entry in enumerate(self.features):
+            distance = float(np.linalg.norm(entry.centroid - centroid))
+            if distance < best_distance:
+                best, best_distance = i, distance
+        return best
+
+
+class CFTree:
+    """The height-balanced CF insertion tree of BIRCH.
+
+    Parameters
+    ----------
+    threshold:
+        Absorption threshold T: a point may be absorbed into a leaf entry
+        only if the merged entry's radius stays at or below T.
+    branching_factor:
+        Maximum number of entries in an internal node.
+    max_leaf_entries:
+        Maximum number of entries in a leaf node.
+    """
+
+    def __init__(
+        self, threshold: float, branching_factor: int = 8, max_leaf_entries: int = 8
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if branching_factor < 2 or max_leaf_entries < 2:
+            raise ValueError("branching_factor and max_leaf_entries must be >= 2")
+        self.threshold = threshold
+        self.branching_factor = branching_factor
+        self.max_leaf_entries = max_leaf_entries
+        self.root = _CFNode(is_leaf=True)
+        self._dimension: Optional[int] = None
+        self.n_points = 0
+        self.n_splits = 0
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+    def insert(self, point: Sequence[float]) -> None:
+        """Insert one point into the tree."""
+        feature = ClusteringFeature.from_point(point)
+        if self._dimension is None:
+            self._dimension = feature.linear_sum.shape[0]
+        elif feature.linear_sum.shape[0] != self._dimension:
+            raise ValueError(
+                f"point dimension {feature.linear_sum.shape[0]} does not match "
+                f"tree dimension {self._dimension}"
+            )
+        self.n_points += 1
+        split = self._insert_into(self.root, feature)
+        if split is not None:
+            # Root split: the tree grows one level.
+            left, right = split
+            new_root = _CFNode(is_leaf=False)
+            for child in (left, right):
+                summary = ClusteringFeature.empty(self._dimension)
+                for entry in child.features:
+                    summary.add(entry)
+                new_root.features.append(summary)
+                new_root.children.append(child)
+            self.root = new_root
+
+    def _insert_into(
+        self, node: _CFNode, feature: ClusteringFeature
+    ) -> Optional[Tuple[_CFNode, _CFNode]]:
+        """Insert recursively; returns the two halves when ``node`` splits."""
+        if node.is_leaf:
+            return self._insert_into_leaf(node, feature)
+
+        index = node.nearest_entry(feature)
+        child_split = self._insert_into(node.children[index], feature)
+        node.features[index].add(feature)
+        if child_split is None:
+            return None
+
+        # Replace the split child's entry by the two new halves.
+        left, right = child_split
+        node.children[index] = left
+        node.features[index] = self._summarise(left)
+        node.children.insert(index + 1, right)
+        node.features.insert(index + 1, self._summarise(right))
+        if len(node) <= self.branching_factor:
+            return None
+        return self._split(node)
+
+    def _insert_into_leaf(
+        self, leaf: _CFNode, feature: ClusteringFeature
+    ) -> Optional[Tuple[_CFNode, _CFNode]]:
+        if leaf.features:
+            index = leaf.nearest_entry(feature)
+            candidate = leaf.features[index].merged(feature)
+            if candidate.radius <= self.threshold:
+                leaf.features[index] = candidate
+                return None
+        leaf.features.append(feature)
+        leaf.entry_ids.append(next(_leaf_counter))
+        if len(leaf) <= self.max_leaf_entries:
+            return None
+        return self._split(leaf)
+
+    def _summarise(self, node: _CFNode) -> ClusteringFeature:
+        summary = ClusteringFeature.empty(self._dimension)
+        for entry in node.features:
+            summary.add(entry)
+        return summary
+
+    def _split(self, node: _CFNode) -> Tuple[_CFNode, _CFNode]:
+        """Split an over-full node on its farthest pair of entry centroids."""
+        self.n_splits += 1
+        centroids = np.asarray([f.centroid for f in node.features])
+        n = centroids.shape[0]
+        distances = np.linalg.norm(centroids[:, None, :] - centroids[None, :, :], axis=2)
+        seed_a, seed_b = np.unravel_index(np.argmax(distances), distances.shape)
+
+        left = _CFNode(is_leaf=node.is_leaf)
+        right = _CFNode(is_leaf=node.is_leaf)
+        for i in range(n):
+            target = left if distances[i, seed_a] <= distances[i, seed_b] else right
+            target.features.append(node.features[i])
+            if node.is_leaf:
+                target.entry_ids.append(node.entry_ids[i])
+            else:
+                target.children.append(node.children[i])
+        # Guard against a degenerate split (all entries identical).
+        if not left.features or not right.features:
+            donor, receiver = (left, right) if len(left) > 1 else (right, left)
+            receiver.features.append(donor.features.pop())
+            if node.is_leaf:
+                receiver.entry_ids.append(donor.entry_ids.pop())
+            else:
+                receiver.children.append(donor.children.pop())
+        return left, right
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def leaf_entries(self) -> List[Tuple[int, ClusteringFeature]]:
+        """All (entry id, CF) pairs stored in leaf nodes."""
+        entries: List[Tuple[int, ClusteringFeature]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                entries.extend(zip(node.entry_ids, node.features))
+            else:
+                stack.extend(node.children)
+        return entries
+
+    @property
+    def n_leaf_entries(self) -> int:
+        """Number of sub-clusters currently summarised in the leaves."""
+        return len(self.leaf_entries())
+
+    @property
+    def height(self) -> int:
+        """Height of the tree (1 for a single leaf root)."""
+        height = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+
+class Birch(StreamClusterer):
+    """BIRCH as a stream clusterer: online CF-Tree + offline global clustering.
+
+    Parameters
+    ----------
+    threshold:
+        CF-Tree absorption threshold T.
+    branching_factor, max_leaf_entries:
+        CF-Tree node capacities.
+    n_macro_clusters:
+        When given, the offline phase runs weighted k-means with this k over
+        the leaf-entry centroids; when ``None``, leaf entries whose centroids
+        are within ``macro_merge_factor * threshold`` of each other are merged
+        agglomeratively (connected components).
+    macro_merge_factor:
+        Distance factor for the agglomerative offline phase.
+    """
+
+    name = "BIRCH"
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        branching_factor: int = 8,
+        max_leaf_entries: int = 8,
+        n_macro_clusters: Optional[int] = None,
+        macro_merge_factor: float = 2.0,
+    ) -> None:
+        if n_macro_clusters is not None and n_macro_clusters < 1:
+            raise ValueError(f"n_macro_clusters must be >= 1, got {n_macro_clusters}")
+        if macro_merge_factor <= 0:
+            raise ValueError(f"macro_merge_factor must be positive, got {macro_merge_factor}")
+        self.tree = CFTree(
+            threshold=threshold,
+            branching_factor=branching_factor,
+            max_leaf_entries=max_leaf_entries,
+        )
+        self.n_macro_clusters = n_macro_clusters
+        self.macro_merge_factor = macro_merge_factor
+        self._macro_labels: Dict[int, int] = {}
+        self._macro_stale = True
+
+    # ------------------------------------------------------------------ #
+    # StreamClusterer interface
+    # ------------------------------------------------------------------ #
+    def learn_one(
+        self, values: Sequence[float], timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> int:
+        self.tree.insert(values)
+        self._macro_stale = True
+        return self.tree.n_points
+
+    def request_clustering(self) -> None:
+        """Cluster the leaf entries globally (BIRCH phase 3)."""
+        entries = self.tree.leaf_entries()
+        if not entries:
+            self._macro_labels = {}
+            self._macro_stale = False
+            return
+        centroids = np.asarray([cf.centroid for _, cf in entries])
+        weights = np.asarray([cf.n for _, cf in entries])
+        if self.n_macro_clusters is not None:
+            k = min(self.n_macro_clusters, len(entries))
+            model = KMeans(n_clusters=k, seed=0)
+            labels = model.fit_predict(centroids, weights=weights)
+            self._macro_labels = {
+                entry_id: int(labels[i]) for i, (entry_id, _) in enumerate(entries)
+            }
+        else:
+            self._macro_labels = self._agglomerate(entries, centroids)
+        self._macro_stale = False
+
+    def _agglomerate(
+        self,
+        entries: List[Tuple[int, ClusteringFeature]],
+        centroids: np.ndarray,
+    ) -> Dict[int, int]:
+        """Connected components of leaf centroids under the merge distance."""
+        merge_distance = self.macro_merge_factor * self.tree.threshold
+        n = len(entries)
+        distances = np.linalg.norm(centroids[:, None, :] - centroids[None, :, :], axis=2)
+        adjacency = distances <= merge_distance
+        labels = [-1] * n
+        current = 0
+        for i in range(n):
+            if labels[i] != -1:
+                continue
+            stack = [i]
+            labels[i] = current
+            while stack:
+                node = stack.pop()
+                for j in np.flatnonzero(adjacency[node]):
+                    if labels[j] == -1:
+                        labels[j] = current
+                        stack.append(int(j))
+            current += 1
+        return {entries[i][0]: labels[i] for i in range(n)}
+
+    def predict_one(self, values: Sequence[float]) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        entries = self.tree.leaf_entries()
+        if not entries:
+            return -1
+        point = np.asarray(values, dtype=float)
+        best_id, best_distance = -1, float("inf")
+        for entry_id, cf in entries:
+            distance = float(np.linalg.norm(cf.centroid - point))
+            if distance < best_distance:
+                best_id, best_distance = entry_id, distance
+        return self._macro_labels.get(best_id, -1)
+
+    @property
+    def n_clusters(self) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        if not self._macro_labels:
+            return 0
+        return len(set(self._macro_labels.values()))
+
+    # Structural statistics for the CF-Tree vs DP-Tree comparison ----------
+    @property
+    def n_leaf_entries(self) -> int:
+        """Number of leaf sub-clusters (the analogue of active cluster-cells)."""
+        return self.tree.n_leaf_entries
+
+    @property
+    def tree_height(self) -> int:
+        """Height of the CF-Tree."""
+        return self.tree.height

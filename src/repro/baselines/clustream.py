@@ -1,0 +1,240 @@
+"""CluStream (Aggarwal, Han, Wang, Yu — VLDB 2003).
+
+CluStream is the classic two-phase framework referenced in the paper's
+related work: the online phase maintains a fixed budget of ``q``
+micro-clusters (cluster feature vectors extended with temporal statistics);
+a new point is absorbed by the nearest micro-cluster if it falls within its
+maximum boundary, otherwise a new micro-cluster is created and either the
+oldest micro-cluster is deleted or the two closest are merged to stay within
+budget.  The offline phase reclusters the micro-cluster centres with a
+weighted k-means.
+
+It is included as an extension beyond the four baselines of Section 6 so
+that the harness covers the whole design space discussed in Section 7
+(offline vs online, DBSCAN-based vs k-means-based reclustering).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines._centers import CenterArray
+from repro.baselines.base import StreamClusterer
+from repro.baselines.kmeans import KMeans
+
+_mc_counter = itertools.count(1)
+
+
+@dataclass
+class _CluMicroCluster:
+    """CF vector with temporal statistics (CF1x, CF2x, CF1t, CF2t, n)."""
+
+    linear_sum: np.ndarray
+    squared_sum: np.ndarray
+    time_sum: float
+    time_squared_sum: float
+    count: float
+    mc_id: int = field(default_factory=lambda: next(_mc_counter))
+
+    @classmethod
+    def from_point(cls, point: np.ndarray, timestamp: float) -> "_CluMicroCluster":
+        return cls(
+            linear_sum=point.copy(),
+            squared_sum=point * point,
+            time_sum=timestamp,
+            time_squared_sum=timestamp * timestamp,
+            count=1.0,
+        )
+
+    def insert(self, point: np.ndarray, timestamp: float) -> None:
+        self.linear_sum += point
+        self.squared_sum += point * point
+        self.time_sum += timestamp
+        self.time_squared_sum += timestamp * timestamp
+        self.count += 1.0
+
+    def merge(self, other: "_CluMicroCluster") -> None:
+        self.linear_sum += other.linear_sum
+        self.squared_sum += other.squared_sum
+        self.time_sum += other.time_sum
+        self.time_squared_sum += other.time_squared_sum
+        self.count += other.count
+
+    @property
+    def center(self) -> np.ndarray:
+        return self.linear_sum / self.count
+
+    @property
+    def rms_radius(self) -> float:
+        mean_sq = self.squared_sum / self.count
+        center = self.center
+        variance = float(np.sum(mean_sq - center * center))
+        return math.sqrt(max(variance, 0.0))
+
+    @property
+    def mean_timestamp(self) -> float:
+        return self.time_sum / self.count
+
+
+class CluStream(StreamClusterer):
+    """A framework for clustering evolving data streams.
+
+    Parameters
+    ----------
+    n_micro_clusters:
+        Budget ``q`` of micro-clusters kept online.
+    n_macro_clusters:
+        ``k`` of the offline weighted k-means.
+    boundary_factor:
+        Multiplier ``t`` of the RMS radius defining the maximum boundary of a
+        micro-cluster.
+    horizon:
+        Relevance horizon: micro-clusters whose mean timestamp is older than
+        ``now - horizon`` are candidates for deletion when the budget is full.
+    seed:
+        Random seed of the offline k-means.
+    """
+
+    name = "CluStream"
+
+    def __init__(
+        self,
+        n_micro_clusters: int = 100,
+        n_macro_clusters: int = 5,
+        boundary_factor: float = 2.0,
+        horizon: float = 1000.0,
+        seed: int = 0,
+    ) -> None:
+        if n_micro_clusters < 2:
+            raise ValueError(f"n_micro_clusters must be >= 2, got {n_micro_clusters}")
+        if n_macro_clusters < 1:
+            raise ValueError(f"n_macro_clusters must be >= 1, got {n_macro_clusters}")
+        if boundary_factor <= 0:
+            raise ValueError(f"boundary_factor must be positive, got {boundary_factor}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.n_micro_clusters = n_micro_clusters
+        self.n_macro_clusters = n_macro_clusters
+        self.boundary_factor = boundary_factor
+        self.horizon = horizon
+        self.seed = seed
+
+        self._clusters: Dict[int, _CluMicroCluster] = {}
+        self._centers = CenterArray()
+        self._now = 0.0
+        self._macro_labels: Dict[int, int] = {}
+        self._macro_stale = True
+
+    # ------------------------------------------------------------------ #
+    def learn_one(
+        self, values: Sequence[float], timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> int:
+        point = np.asarray(values, dtype=float)
+        if timestamp is None:
+            timestamp = self._now + 1.0
+        self._now = max(self._now, timestamp)
+        self._macro_stale = True
+
+        nearest = self._centers.nearest(point)
+        if nearest is not None:
+            mc_id, distance = nearest
+            mc = self._clusters[mc_id]
+            boundary = self.boundary_factor * mc.rms_radius
+            if boundary <= 0:
+                # Singleton micro-cluster: use the distance to the next
+                # nearest micro-cluster as its boundary, as in the paper.
+                boundary = self._next_nearest_distance(mc_id, mc.center)
+            if distance <= boundary:
+                mc.insert(point, self._now)
+                self._centers.update(mc_id, mc.center)
+                return mc_id
+
+        # Create a new micro-cluster, making room first if necessary.
+        if len(self._clusters) >= self.n_micro_clusters:
+            self._make_room()
+        mc = _CluMicroCluster.from_point(point, self._now)
+        self._clusters[mc.mc_id] = mc
+        self._centers.add(mc.mc_id, mc.center)
+        return mc.mc_id
+
+    def _next_nearest_distance(self, mc_id: int, center: np.ndarray) -> float:
+        keys, distances = self._centers.distances_to(center)
+        best = math.inf
+        for key, distance in zip(keys, distances):
+            if key != mc_id and distance < best:
+                best = float(distance)
+        return best if best != math.inf else 1.0
+
+    def _make_room(self) -> None:
+        """Delete an outdated micro-cluster or merge the two closest ones."""
+        threshold = self._now - self.horizon
+        outdated = [
+            mc_id for mc_id, mc in self._clusters.items() if mc.mean_timestamp < threshold
+        ]
+        if outdated:
+            victim = min(outdated, key=lambda mc_id: self._clusters[mc_id].mean_timestamp)
+            del self._clusters[victim]
+            self._centers.remove(victim)
+            return
+        # Merge the closest pair of micro-clusters.
+        ids = list(self._clusters)
+        centers = np.asarray([self._clusters[m].center for m in ids])
+        best_pair: Optional[Tuple[int, int]] = None
+        best_distance = math.inf
+        for i in range(len(ids)):
+            diffs = centers[i + 1 :] - centers[i]
+            if diffs.size == 0:
+                continue
+            distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            j = int(np.argmin(distances))
+            if float(distances[j]) < best_distance:
+                best_distance = float(distances[j])
+                best_pair = (ids[i], ids[i + 1 + j])
+        if best_pair is None:
+            return
+        keep, drop = best_pair
+        self._clusters[keep].merge(self._clusters[drop])
+        self._centers.update(keep, self._clusters[keep].center)
+        del self._clusters[drop]
+        self._centers.remove(drop)
+
+    # ------------------------------------------------------------------ #
+    def request_clustering(self) -> None:
+        """Offline phase: weighted k-means over micro-cluster centres."""
+        self._macro_labels = {}
+        if not self._clusters:
+            self._macro_stale = False
+            return
+        ids = list(self._clusters)
+        centers = np.asarray([self._clusters[m].center for m in ids])
+        weights = np.asarray([self._clusters[m].count for m in ids])
+        k = min(self.n_macro_clusters, len(ids))
+        kmeans = KMeans(n_clusters=k, seed=self.seed)
+        labels = kmeans.fit_predict(centers, weights=weights)
+        self._macro_labels = {mc_id: int(label) for mc_id, label in zip(ids, labels)}
+        self._macro_stale = False
+
+    def predict_one(self, values: Sequence[float]) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        nearest = self._centers.nearest(np.asarray(values, dtype=float))
+        if nearest is None:
+            return -1
+        mc_id, _ = nearest
+        return self._macro_labels.get(mc_id, -1)
+
+    @property
+    def n_clusters(self) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        return len(set(self._macro_labels.values()))
+
+    @property
+    def n_micro(self) -> int:
+        """Number of micro-clusters currently maintained."""
+        return len(self._clusters)

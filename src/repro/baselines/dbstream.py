@@ -1,0 +1,233 @@
+"""DBSTREAM (Hahsler & Bolaños — IEEE TKDE 2016).
+
+DBSTREAM maintains decayed micro-clusters and, in addition, a *shared
+density* value for every pair of micro-clusters whose neighbourhoods
+overlap.  A new point is inserted into every micro-cluster within radius
+``r`` (their centres also move towards the point by a Gaussian-weighted
+step); when the point falls into two or more micro-clusters, the shared
+density of each such pair is incremented.  The offline phase connects two
+micro-clusters whose shared density (relative to their own weights) exceeds
+the intersection factor ``alpha_intersection`` and returns the connected
+components as macro clusters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.baselines._centers import CenterArray
+from repro.baselines.base import StreamClusterer
+
+_mc_counter = itertools.count(1)
+
+
+@dataclass
+class _DBMicroCluster:
+    center: np.ndarray
+    weight: float = 1.0
+    last_update: float = 0.0
+    mc_id: int = field(default_factory=lambda: next(_mc_counter))
+
+    def decay(self, now: float, decay_factor: float) -> None:
+        if now <= self.last_update:
+            return
+        self.weight *= decay_factor ** (now - self.last_update)
+        self.last_update = now
+
+
+class DBStream(StreamClusterer):
+    """Clustering data streams based on shared density between micro-clusters.
+
+    Parameters
+    ----------
+    radius:
+        Micro-cluster neighbourhood radius ``r``.
+    decay_a, decay_lambda:
+        Exponential decay parameters; effective per-time factor is
+        ``decay_a ** decay_lambda`` (the original fixes a = 2).
+    gap:
+        Cleanup interval: weak micro-clusters and stale shared densities are
+        removed every ``gap`` time units.
+    w_min:
+        Minimum weight for a micro-cluster to participate in reclustering.
+    alpha_intersection:
+        Intersection factor α: two micro-clusters are connected when their
+        shared density exceeds α times the smaller of their weights.
+    learning_rate:
+        Step size of the centre adjustment towards absorbed points.
+    """
+
+    name = "DBSTREAM"
+
+    def __init__(
+        self,
+        radius: float = 0.3,
+        decay_a: float = 2.0,
+        decay_lambda: float = 0.0028,
+        gap: float = 1.0,
+        w_min: float = 2.0,
+        alpha_intersection: float = 0.3,
+        learning_rate: float = 0.3,
+    ) -> None:
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        if w_min <= 0:
+            raise ValueError(f"w_min must be positive, got {w_min}")
+        if not 0.0 < alpha_intersection < 1.0:
+            raise ValueError(
+                f"alpha_intersection must be in (0, 1), got {alpha_intersection}"
+            )
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        self.radius = radius
+        self.decay_factor = decay_a ** (-abs(decay_lambda)) if decay_a > 1 else decay_a ** abs(decay_lambda)
+        if not 0.0 < self.decay_factor < 1.0:
+            raise ValueError(
+                f"decay parameters produce an invalid decay factor {self.decay_factor}"
+            )
+        self.gap = gap
+        self.w_min = w_min
+        self.alpha_intersection = alpha_intersection
+        self.learning_rate = learning_rate
+
+        self._clusters: Dict[int, _DBMicroCluster] = {}
+        self._centers = CenterArray()
+        self._shared: Dict[FrozenSet[int], float] = {}
+        self._shared_update: Dict[FrozenSet[int], float] = {}
+        self._now = 0.0
+        self._last_cleanup = 0.0
+        self._macro_labels: Dict[int, int] = {}
+        self._macro_stale = True
+
+    # ------------------------------------------------------------------ #
+    # online phase
+    # ------------------------------------------------------------------ #
+    def learn_one(
+        self, values: Sequence[float], timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> int:
+        point = np.asarray(values, dtype=float)
+        if timestamp is None:
+            timestamp = self._now + 1.0
+        self._now = max(self._now, timestamp)
+        self._macro_stale = True
+
+        keys, distances = self._centers.distances_to(point)
+        hits = [keys[i] for i in range(len(keys)) if distances[i] <= self.radius]
+
+        if not hits:
+            mc = _DBMicroCluster(center=point.copy(), weight=1.0, last_update=self._now)
+            self._clusters[mc.mc_id] = mc
+            self._centers.add(mc.mc_id, mc.center)
+            assigned = mc.mc_id
+        else:
+            for mc_id in hits:
+                mc = self._clusters[mc_id]
+                mc.decay(self._now, self.decay_factor)
+                mc.weight += 1.0
+                # Move the centre towards the point (competitive learning step).
+                mc.center = mc.center + self.learning_rate * (point - mc.center)
+                self._centers.update(mc_id, mc.center)
+            # Update shared densities for every pair of hit micro-clusters.
+            for a, b in itertools.combinations(sorted(hits), 2):
+                pair = frozenset((a, b))
+                previous = self._shared.get(pair, 0.0)
+                last = self._shared_update.get(pair, self._now)
+                decayed = previous * (self.decay_factor ** (self._now - last))
+                self._shared[pair] = decayed + 1.0
+                self._shared_update[pair] = self._now
+            assigned = hits[0]
+
+        if self._now - self._last_cleanup >= self.gap:
+            self._cleanup()
+            self._last_cleanup = self._now
+        return assigned
+
+    def _cleanup(self) -> None:
+        weak_threshold = self.w_min * (self.decay_factor ** self.gap)
+        for mc_id in list(self._clusters):
+            mc = self._clusters[mc_id]
+            mc.decay(self._now, self.decay_factor)
+            if mc.weight < weak_threshold:
+                del self._clusters[mc_id]
+                self._centers.remove(mc_id)
+        alive = set(self._clusters)
+        for pair in list(self._shared):
+            last = self._shared_update.get(pair, 0.0)
+            decayed = self._shared[pair] * (self.decay_factor ** (self._now - last))
+            if not pair <= alive or decayed < weak_threshold * self.alpha_intersection:
+                del self._shared[pair]
+                self._shared_update.pop(pair, None)
+            else:
+                self._shared[pair] = decayed
+                self._shared_update[pair] = self._now
+
+    # ------------------------------------------------------------------ #
+    # offline phase
+    # ------------------------------------------------------------------ #
+    def request_clustering(self) -> None:
+        """Connect micro-clusters by shared density and label the components."""
+        strong = {
+            mc_id
+            for mc_id, mc in self._clusters.items()
+            if self._decayed_weight(mc) >= self.w_min
+        }
+        adjacency: Dict[int, Set[int]] = {mc_id: set() for mc_id in strong}
+        for pair, value in self._shared.items():
+            a, b = tuple(pair)
+            if a not in strong or b not in strong:
+                continue
+            last = self._shared_update.get(pair, self._now)
+            decayed = value * (self.decay_factor ** (self._now - last))
+            weight_a = self._decayed_weight(self._clusters[a])
+            weight_b = self._decayed_weight(self._clusters[b])
+            connectivity = decayed / max(min(weight_a, weight_b), 1e-12)
+            if connectivity >= self.alpha_intersection:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+
+        labels: Dict[int, int] = {}
+        cluster_id = 0
+        for mc_id in strong:
+            if mc_id in labels:
+                continue
+            stack = [mc_id]
+            labels[mc_id] = cluster_id
+            while stack:
+                current = stack.pop()
+                for neighbour in adjacency[current]:
+                    if neighbour not in labels:
+                        labels[neighbour] = cluster_id
+                        stack.append(neighbour)
+            cluster_id += 1
+        self._macro_labels = labels
+        self._macro_stale = False
+
+    def _decayed_weight(self, mc: _DBMicroCluster) -> float:
+        return mc.weight * (self.decay_factor ** max(0.0, self._now - mc.last_update))
+
+    def predict_one(self, values: Sequence[float]) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        nearest = self._centers.nearest(np.asarray(values, dtype=float))
+        if nearest is None:
+            return -1
+        mc_id, distance = nearest
+        if distance > 2.0 * self.radius:
+            return -1
+        return self._macro_labels.get(mc_id, -1)
+
+    @property
+    def n_clusters(self) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        return len(set(self._macro_labels.values()))
+
+    @property
+    def n_micro_clusters(self) -> int:
+        """Number of micro-clusters currently maintained."""
+        return len(self._clusters)

@@ -1,0 +1,280 @@
+"""DenStream (Cao, Ester, Qian, Zhou — SDM 2006).
+
+DenStream keeps two kinds of decayed micro-clusters:
+
+* *potential* micro-clusters (p-micro-clusters) whose weight is at least
+  ``beta_mu = β·µ``, and
+* *outlier* micro-clusters (o-micro-clusters) below that threshold.
+
+A new point is merged into the nearest p-micro-cluster if doing so keeps its
+radius ≤ ε; otherwise into the nearest o-micro-cluster under the same
+condition; otherwise it seeds a new o-micro-cluster.  Periodically (every
+``T_p`` time units) micro-clusters whose weight decayed below their threshold
+are pruned.  The *offline* phase runs a weighted DBSCAN over the
+p-micro-cluster centres to produce the macro clusters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines._centers import CenterArray
+from repro.baselines.base import StreamClusterer
+from repro.baselines.dbscan import DBSCAN
+
+_mc_counter = itertools.count(1)
+
+
+@dataclass
+class MicroCluster:
+    """A decayed cluster feature vector (CF1, CF2, weight)."""
+
+    dimension: int
+    creation_time: float
+    weight: float = 0.0
+    linear_sum: np.ndarray = field(default=None)
+    squared_sum: np.ndarray = field(default=None)
+    last_update: float = 0.0
+    mc_id: int = field(default_factory=lambda: next(_mc_counter))
+
+    def __post_init__(self) -> None:
+        if self.linear_sum is None:
+            self.linear_sum = np.zeros(self.dimension, dtype=float)
+        if self.squared_sum is None:
+            self.squared_sum = np.zeros(self.dimension, dtype=float)
+
+    def decay(self, now: float, decay_factor: float) -> None:
+        """Apply exponential decay up to ``now``."""
+        if now <= self.last_update:
+            return
+        factor = decay_factor ** (now - self.last_update)
+        self.weight *= factor
+        self.linear_sum *= factor
+        self.squared_sum *= factor
+        self.last_update = now
+
+    def insert(self, point: np.ndarray, now: float, decay_factor: float) -> None:
+        """Decay to ``now`` and absorb ``point`` with weight 1."""
+        self.decay(now, decay_factor)
+        self.weight += 1.0
+        self.linear_sum += point
+        self.squared_sum += point * point
+
+    @property
+    def center(self) -> np.ndarray:
+        """Weighted centre of the micro-cluster."""
+        if self.weight <= 0:
+            return self.linear_sum.copy()
+        return self.linear_sum / self.weight
+
+    @property
+    def radius(self) -> float:
+        """RMS deviation of the members from the centre."""
+        if self.weight <= 0:
+            return 0.0
+        mean_sq = self.squared_sum / self.weight
+        center = self.linear_sum / self.weight
+        variance = float(np.sum(mean_sq - center * center))
+        return math.sqrt(max(variance, 0.0))
+
+    def radius_if_inserted(self, point: np.ndarray) -> float:
+        """Radius the micro-cluster would have after absorbing ``point``."""
+        weight = self.weight + 1.0
+        linear = self.linear_sum + point
+        squared = self.squared_sum + point * point
+        mean_sq = squared / weight
+        center = linear / weight
+        variance = float(np.sum(mean_sq - center * center))
+        return math.sqrt(max(variance, 0.0))
+
+
+class DenStream(StreamClusterer):
+    """Density-based clustering over an evolving data stream with noise.
+
+    Parameters
+    ----------
+    eps:
+        Maximum micro-cluster radius ε (also the offline DBSCAN ε is 2·ε,
+        following the original paper's suggestion of reachability between
+        adjacent micro-clusters).
+    mu:
+        Core weight threshold µ.
+    beta:
+        Outlier threshold multiplier β in (0, 1].
+    decay_a, decay_lambda:
+        Exponential decay parameters; the effective per-time decay factor is
+        ``decay_a ** decay_lambda`` (the paper fixes a = 2 and tunes λ).
+    prune_interval:
+        Time between pruning passes (the paper's ``T_p``); ``None`` derives
+        it from the decay parameters as in the original paper.
+    """
+
+    name = "DenStream"
+
+    def __init__(
+        self,
+        eps: float = 0.3,
+        mu: float = 10.0,
+        beta: float = 0.2,
+        decay_a: float = 2.0,
+        decay_lambda: float = 0.0028,
+        prune_interval: Optional[float] = None,
+    ) -> None:
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if mu <= 0:
+            raise ValueError(f"mu must be positive, got {mu}")
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta}")
+        self.eps = eps
+        self.mu = mu
+        self.beta = beta
+        self.decay_factor = decay_a ** (-abs(decay_lambda)) if decay_a > 1 else decay_a ** abs(decay_lambda)
+        if not 0.0 < self.decay_factor < 1.0:
+            raise ValueError(
+                f"decay parameters produce an invalid decay factor {self.decay_factor}"
+            )
+        if prune_interval is None:
+            # T_p = ceil( log_decay( beta*mu / (beta*mu - 1) ) ), original Eq. (4.1);
+            # falls back to 1.0 when beta*mu <= 1 (no meaningful bound).
+            if self.beta * self.mu > 1.0:
+                ratio = (self.beta * self.mu) / (self.beta * self.mu - 1.0)
+                prune_interval = max(1.0, math.log(ratio) / -math.log(self.decay_factor))
+            else:
+                prune_interval = 1.0
+        self.prune_interval = prune_interval
+
+        self._potential: Dict[int, MicroCluster] = {}
+        self._outlier: Dict[int, MicroCluster] = {}
+        self._potential_centers = CenterArray()
+        self._outlier_centers = CenterArray()
+        self._now = 0.0
+        self._last_prune = 0.0
+        self._n_points = 0
+        self._macro_labels: Dict[int, int] = {}
+        self._macro_stale = True
+
+    # ------------------------------------------------------------------ #
+    # online phase
+    # ------------------------------------------------------------------ #
+    @property
+    def core_weight_threshold(self) -> float:
+        """Weight at which a micro-cluster counts as potential (β·µ)."""
+        return self.beta * self.mu
+
+    def learn_one(
+        self, values: Sequence[float], timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> int:
+        point = np.asarray(values, dtype=float)
+        if timestamp is None:
+            timestamp = self._now + 1.0
+        self._now = max(self._now, timestamp)
+        self._n_points += 1
+        self._macro_stale = True
+
+        merged_id = self._merge(point)
+
+        if self._now - self._last_prune >= self.prune_interval:
+            self._prune()
+            self._last_prune = self._now
+        return merged_id
+
+    def _merge(self, point: np.ndarray) -> int:
+        # Try the nearest potential micro-cluster first.
+        for population, centers in (
+            (self._potential, self._potential_centers),
+            (self._outlier, self._outlier_centers),
+        ):
+            nearest = centers.nearest(point)
+            if nearest is None:
+                continue
+            mc_id, _ = nearest
+            mc = population[mc_id]
+            if mc.radius_if_inserted(point) <= self.eps:
+                mc.insert(point, self._now, self.decay_factor)
+                centers.update(mc_id, mc.center)
+                if population is self._outlier and mc.weight >= self.core_weight_threshold:
+                    self._promote(mc_id)
+                return mc.mc_id
+        # No suitable micro-cluster: create a new outlier micro-cluster.
+        mc = MicroCluster(dimension=point.shape[0], creation_time=self._now, last_update=self._now)
+        mc.insert(point, self._now, self.decay_factor)
+        self._outlier[mc.mc_id] = mc
+        self._outlier_centers.add(mc.mc_id, mc.center)
+        return mc.mc_id
+
+    def _promote(self, mc_id: int) -> None:
+        mc = self._outlier.pop(mc_id)
+        self._outlier_centers.remove(mc_id)
+        self._potential[mc_id] = mc
+        self._potential_centers.add(mc_id, mc.center)
+
+    def _prune(self) -> None:
+        threshold = self.core_weight_threshold
+        for mc_id in list(self._potential):
+            mc = self._potential[mc_id]
+            mc.decay(self._now, self.decay_factor)
+            if mc.weight < threshold:
+                del self._potential[mc_id]
+                self._potential_centers.remove(mc_id)
+        for mc_id in list(self._outlier):
+            mc = self._outlier[mc_id]
+            mc.decay(self._now, self.decay_factor)
+            # Outlier micro-clusters are deleted when their weight falls below
+            # the lower limit ξ(t_c, t); we use the simplified criterion of
+            # weight < 1 after a grace period, as in common implementations.
+            age = self._now - mc.creation_time
+            if age > self.prune_interval and mc.weight < max(1.0, threshold * age / (age + 1.0)):
+                del self._outlier[mc_id]
+                self._outlier_centers.remove(mc_id)
+
+    # ------------------------------------------------------------------ #
+    # offline phase
+    # ------------------------------------------------------------------ #
+    def request_clustering(self) -> None:
+        """Run the offline weighted DBSCAN over the potential micro-clusters."""
+        self._macro_labels = {}
+        if not self._potential:
+            self._macro_stale = False
+            return
+        mc_ids = list(self._potential)
+        centers = np.asarray([self._potential[m].center for m in mc_ids])
+        weights = np.asarray([self._potential[m].weight for m in mc_ids])
+        clusterer = DBSCAN(eps=2.0 * self.eps, min_pts=self.mu)
+        labels = clusterer.fit_predict(centers, weights=weights)
+        self._macro_labels = {mc_id: int(label) for mc_id, label in zip(mc_ids, labels)}
+        self._macro_stale = False
+
+    def predict_one(self, values: Sequence[float]) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        point = np.asarray(values, dtype=float)
+        nearest = self._potential_centers.nearest(point)
+        if nearest is None:
+            return -1
+        mc_id, distance = nearest
+        if distance > 2.0 * self.eps:
+            return -1
+        return self._macro_labels.get(mc_id, -1)
+
+    @property
+    def n_clusters(self) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        labels = {label for label in self._macro_labels.values() if label != -1}
+        return len(labels)
+
+    @property
+    def n_micro_clusters(self) -> int:
+        """Number of potential micro-clusters currently maintained."""
+        return len(self._potential)
+
+    @property
+    def n_outlier_micro_clusters(self) -> int:
+        """Number of outlier micro-clusters currently maintained."""
+        return len(self._outlier)

@@ -1,0 +1,210 @@
+"""D-Stream (Chen & Tu — KDD 2007): density-based clustering over grids.
+
+The data space is partitioned into a uniform grid.  Each arriving point adds
+1 to its grid cell's decayed density.  Grids are classified by comparing
+their density against fractions of the steady-state total ``1/(N(1-a))``:
+
+* *dense* grids: density ≥ C_m / (N (1 - decay)),
+* *sparse* grids: density ≤ C_l / (N (1 - decay)),
+* *transitional* grids: in between,
+
+where N is the number of grid cells covered so far.  The offline phase groups
+neighbouring dense grids into clusters and attaches transitional grids on the
+border; sporadic sparse grids are removed periodically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import StreamClusterer
+
+
+@dataclass
+class GridCell:
+    """Decayed density of one grid cell."""
+
+    density: float = 0.0
+    last_update: float = 0.0
+    last_insert: float = 0.0
+
+    def decay(self, now: float, decay_factor: float) -> None:
+        """Apply exponential decay up to ``now``."""
+        if now <= self.last_update:
+            return
+        self.density *= decay_factor ** (now - self.last_update)
+        self.last_update = now
+
+    def insert(self, now: float, decay_factor: float) -> None:
+        """Decay to ``now`` and add one point."""
+        self.decay(now, decay_factor)
+        self.density += 1.0
+        self.last_insert = now
+
+
+class DStream(StreamClusterer):
+    """Grid-based density stream clustering.
+
+    Parameters
+    ----------
+    grid_size:
+        Side length of a grid cell in every dimension.
+    c_m:
+        Dense-grid threshold multiplier (> 1).
+    c_l:
+        Sparse-grid threshold multiplier (in (0, 1)).
+    decay_a, decay_lambda:
+        Exponential decay parameters; effective per-time factor is
+        ``decay_a ** decay_lambda``.
+    gap:
+        Time between offline maintenance passes (sporadic-grid removal).
+    """
+
+    name = "D-Stream"
+
+    def __init__(
+        self,
+        grid_size: float = 1.0,
+        c_m: float = 3.0,
+        c_l: float = 0.8,
+        decay_a: float = 0.998,
+        decay_lambda: float = 1.0,
+        gap: float = 1.0,
+    ) -> None:
+        if grid_size <= 0:
+            raise ValueError(f"grid_size must be positive, got {grid_size}")
+        if c_m <= 1.0:
+            raise ValueError(f"c_m must be > 1, got {c_m}")
+        if not 0.0 < c_l < 1.0:
+            raise ValueError(f"c_l must be in (0, 1), got {c_l}")
+        self.grid_size = grid_size
+        self.c_m = c_m
+        self.c_l = c_l
+        self.decay_factor = decay_a ** decay_lambda
+        if not 0.0 < self.decay_factor < 1.0:
+            raise ValueError(
+                f"decay parameters produce an invalid decay factor {self.decay_factor}"
+            )
+        self.gap = gap
+
+        self._grids: Dict[Tuple[int, ...], GridCell] = {}
+        self._now = 0.0
+        self._last_maintenance = 0.0
+        self._n_points = 0
+        self._macro_labels: Dict[Tuple[int, ...], int] = {}
+        self._macro_stale = True
+
+    # ------------------------------------------------------------------ #
+    def _grid_of(self, point: np.ndarray) -> Tuple[int, ...]:
+        return tuple(int(math.floor(v / self.grid_size)) for v in point)
+
+    def _thresholds(self) -> Tuple[float, float]:
+        """(dense, sparse) density thresholds, following D-Stream's D_m / D_l."""
+        n_grids = max(1, len(self._grids))
+        steady_total = 1.0 / (1.0 - self.decay_factor)
+        dense = self.c_m * steady_total / n_grids
+        sparse = self.c_l * steady_total / n_grids
+        return dense, sparse
+
+    def learn_one(
+        self, values: Sequence[float], timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> Tuple[int, ...]:
+        point = np.asarray(values, dtype=float)
+        if timestamp is None:
+            timestamp = self._now + 1.0
+        self._now = max(self._now, timestamp)
+        self._n_points += 1
+        self._macro_stale = True
+
+        key = self._grid_of(point)
+        cell = self._grids.get(key)
+        if cell is None:
+            cell = GridCell(last_update=self._now)
+            self._grids[key] = cell
+        cell.insert(self._now, self.decay_factor)
+
+        if self._now - self._last_maintenance >= self.gap:
+            self._remove_sporadic()
+            self._last_maintenance = self._now
+        return key
+
+    def _remove_sporadic(self) -> None:
+        _, sparse = self._thresholds()
+        for key in list(self._grids):
+            cell = self._grids[key]
+            cell.decay(self._now, self.decay_factor)
+            # A sparse grid that has not received points for a full gap is
+            # considered sporadic and deleted.
+            if cell.density <= sparse and self._now - cell.last_insert > self.gap:
+                del self._grids[key]
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _neighbours(key: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+        """Axis-aligned neighbouring grid keys (the D-Stream adjacency)."""
+        result = []
+        for axis in range(len(key)):
+            for offset in (-1, 1):
+                neighbour = list(key)
+                neighbour[axis] += offset
+                result.append(tuple(neighbour))
+        return result
+
+    def request_clustering(self) -> None:
+        """Offline phase: connected components of dense grids + transitional borders."""
+        dense_threshold, sparse_threshold = self._thresholds()
+        dense: List[Tuple[int, ...]] = []
+        transitional: List[Tuple[int, ...]] = []
+        for key, cell in self._grids.items():
+            cell.decay(self._now, self.decay_factor)
+            if cell.density >= dense_threshold:
+                dense.append(key)
+            elif cell.density > sparse_threshold:
+                transitional.append(key)
+
+        labels: Dict[Tuple[int, ...], int] = {}
+        cluster_id = 0
+        dense_set = set(dense)
+        for key in dense:
+            if key in labels:
+                continue
+            queue = deque([key])
+            labels[key] = cluster_id
+            while queue:
+                current = queue.popleft()
+                for neighbour in self._neighbours(current):
+                    if neighbour in dense_set and neighbour not in labels:
+                        labels[neighbour] = cluster_id
+                        queue.append(neighbour)
+            cluster_id += 1
+        # Attach transitional grids to an adjacent dense cluster, if any.
+        for key in transitional:
+            for neighbour in self._neighbours(key):
+                if neighbour in labels and neighbour in dense_set:
+                    labels[key] = labels[neighbour]
+                    break
+        self._macro_labels = labels
+        self._macro_stale = False
+
+    def predict_one(self, values: Sequence[float]) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        key = self._grid_of(np.asarray(values, dtype=float))
+        return self._macro_labels.get(key, -1)
+
+    @property
+    def n_clusters(self) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        return len(set(self._macro_labels.values()))
+
+    @property
+    def n_grids(self) -> int:
+        """Number of grid cells currently maintained."""
+        return len(self._grids)

@@ -1,0 +1,130 @@
+"""Batch (weighted) k-means — Lloyd's algorithm with k-means++ seeding.
+
+k-means is the classic offline component of micro-cluster based stream
+clusterers (CluStream reclusters micro-cluster centres with a weighted
+k-means).  The implementation supports per-point weights for exactly that
+use and is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class KMeans:
+    """Weighted k-means clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters k.
+    max_iter:
+        Maximum number of Lloyd iterations.
+    tol:
+        Convergence tolerance on the total centre movement.
+    seed:
+        Random seed for the k-means++ initialisation.
+    """
+
+    def __init__(
+        self, n_clusters: int, max_iter: int = 100, tol: float = 1e-6, seed: int = 0
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_: Optional[np.ndarray] = None
+        self.inertia_: float = float("nan")
+
+    # ------------------------------------------------------------------ #
+    def _init_centers(
+        self, data: np.ndarray, weights: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """k-means++ seeding (weighted)."""
+        n = data.shape[0]
+        k = min(self.n_clusters, n)
+        probabilities = weights / weights.sum()
+        first = int(rng.choice(n, p=probabilities))
+        centers = [data[first]]
+        closest_sq = np.full(n, np.inf)
+        for _ in range(1, k):
+            diffs = data - centers[-1]
+            dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+            np.minimum(closest_sq, dist_sq, out=closest_sq)
+            scores = closest_sq * weights
+            total = scores.sum()
+            if total <= 0:
+                index = int(rng.integers(0, n))
+            else:
+                index = int(rng.choice(n, p=scores / total))
+            centers.append(data[index])
+        return np.asarray(centers)
+
+    def fit(
+        self,
+        data: Sequence[Sequence[float]],
+        weights: Optional[Sequence[float]] = None,
+    ) -> "KMeans":
+        """Fit the centres on ``data`` (optionally weighted)."""
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ValueError("k-means requires a non-empty 2-D array of points")
+        n = matrix.shape[0]
+        weight_arr = (
+            np.ones(n, dtype=float) if weights is None else np.asarray(weights, dtype=float)
+        )
+        if weight_arr.shape[0] != n:
+            raise ValueError("weights length does not match data length")
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(matrix, weight_arr, rng)
+        k = centers.shape[0]
+
+        for _ in range(self.max_iter):
+            labels = self._assign(matrix, centers)
+            new_centers = centers.copy()
+            for cluster in range(k):
+                mask = labels == cluster
+                mass = weight_arr[mask].sum()
+                if mass > 0:
+                    new_centers[cluster] = (
+                        weight_arr[mask, None] * matrix[mask]
+                    ).sum(axis=0) / mass
+            movement = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if movement <= self.tol:
+                break
+
+        self.centers_ = centers
+        labels = self._assign(matrix, centers)
+        diffs = matrix - centers[labels]
+        self.inertia_ = float((weight_arr * np.einsum("ij,ij->i", diffs, diffs)).sum())
+        return self
+
+    @staticmethod
+    def _assign(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        distances = np.linalg.norm(data[:, None, :] - centers[None, :, :], axis=2)
+        return np.argmin(distances, axis=1)
+
+    def predict(self, data: Sequence[Sequence[float]]) -> np.ndarray:
+        """Assign each point of ``data`` to its nearest fitted centre."""
+        if self.centers_ is None:
+            raise RuntimeError("KMeans.predict called before fit")
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        return self._assign(matrix, self.centers_)
+
+    def fit_predict(
+        self,
+        data: Sequence[Sequence[float]],
+        weights: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """Fit and return the labels of ``data``."""
+        self.fit(data, weights=weights)
+        return self.predict(data)

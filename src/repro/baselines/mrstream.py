@@ -1,0 +1,234 @@
+"""MR-Stream (Wan, Ng, Dang, Yu, Zhang — ACM TKDD 2009).
+
+MR-Stream clusters a stream at *multiple resolutions* by maintaining a tree
+of nested grid cells: the root covers the whole data space and every node is
+recursively divided into ``2^d`` children (each dimension halved) down to a
+maximum height ``H``.  Arriving points update the decayed density of the
+cell they fall into at every level.  The offline phase picks a resolution
+(tree height) and groups adjacent dense cells at that resolution into
+clusters, attaching transitional cells on the border.
+
+The implementation stores, per level, a dictionary from grid coordinates to
+decayed densities — the explicit tree is implied by the coordinate prefix
+relationship, which keeps memory proportional to the number of *occupied*
+cells as in the original paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import StreamClusterer
+
+
+@dataclass
+class _GridNode:
+    density: float = 0.0
+    last_update: float = 0.0
+
+    def decay(self, now: float, decay_factor: float) -> None:
+        if now <= self.last_update:
+            return
+        self.density *= decay_factor ** (now - self.last_update)
+        self.last_update = now
+
+    def insert(self, now: float, decay_factor: float) -> None:
+        self.decay(now, decay_factor)
+        self.density += 1.0
+
+
+class MRStream(StreamClusterer):
+    """Density-based clustering of data streams at multiple resolutions.
+
+    Parameters
+    ----------
+    bounds:
+        ``(low, high)`` bounds of the data space in every dimension.  Points
+        outside are clamped (the original assumes a known, normalised space).
+    max_height:
+        Number of resolutions H; the finest level divides each dimension into
+        ``2^H`` intervals.
+    clustering_height:
+        Level used by the offline phase (defaults to the finest level).
+    c_m, c_l:
+        Dense / sparse threshold multipliers, as in D-Stream.
+    decay_a, decay_lambda:
+        Decay parameters; the original fixes a = 1.002 with λ = -1, i.e. an
+        effective factor 1.002^-1 ≈ 0.998.
+    gap:
+        Interval between pruning passes.
+    """
+
+    name = "MR-Stream"
+
+    def __init__(
+        self,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        max_height: int = 5,
+        clustering_height: Optional[int] = None,
+        c_m: float = 3.0,
+        c_l: float = 0.8,
+        decay_a: float = 1.002,
+        decay_lambda: float = -1.0,
+        gap: float = 1.0,
+    ) -> None:
+        if bounds[1] <= bounds[0]:
+            raise ValueError(f"invalid bounds {bounds}")
+        if max_height < 1:
+            raise ValueError(f"max_height must be >= 1, got {max_height}")
+        if clustering_height is None:
+            clustering_height = max_height
+        if not 1 <= clustering_height <= max_height:
+            raise ValueError(
+                f"clustering_height must be in [1, {max_height}], got {clustering_height}"
+            )
+        if c_m <= 1.0:
+            raise ValueError(f"c_m must be > 1, got {c_m}")
+        if not 0.0 < c_l < 1.0:
+            raise ValueError(f"c_l must be in (0, 1), got {c_l}")
+        self.bounds = bounds
+        self.max_height = max_height
+        self.clustering_height = clustering_height
+        self.c_m = c_m
+        self.c_l = c_l
+        self.decay_factor = decay_a ** decay_lambda
+        if not 0.0 < self.decay_factor < 1.0:
+            raise ValueError(
+                f"decay parameters produce an invalid decay factor {self.decay_factor}"
+            )
+        self.gap = gap
+
+        #: One dictionary of occupied cells per level (1 .. max_height).
+        self._levels: List[Dict[Tuple[int, ...], _GridNode]] = [
+            {} for _ in range(max_height)
+        ]
+        self._now = 0.0
+        self._last_prune = 0.0
+        self._n_points = 0
+        self._macro_labels: Dict[Tuple[int, ...], int] = {}
+        self._macro_stale = True
+
+    # ------------------------------------------------------------------ #
+    def _cell_of(self, point: np.ndarray, height: int) -> Tuple[int, ...]:
+        low, high = self.bounds
+        span = high - low
+        divisions = 2 ** height
+        coords = []
+        for value in point:
+            normalised = (value - low) / span
+            normalised = min(max(normalised, 0.0), 1.0 - 1e-12)
+            coords.append(int(normalised * divisions))
+        return tuple(coords)
+
+    def learn_one(
+        self, values: Sequence[float], timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> Tuple[int, ...]:
+        point = np.asarray(values, dtype=float)
+        if timestamp is None:
+            timestamp = self._now + 1.0
+        self._now = max(self._now, timestamp)
+        self._n_points += 1
+        self._macro_stale = True
+
+        finest_key: Tuple[int, ...] = ()
+        for height in range(1, self.max_height + 1):
+            key = self._cell_of(point, height)
+            level = self._levels[height - 1]
+            node = level.get(key)
+            if node is None:
+                node = _GridNode(last_update=self._now)
+                level[key] = node
+            node.insert(self._now, self.decay_factor)
+            finest_key = key
+
+        if self._now - self._last_prune >= self.gap:
+            self._prune()
+            self._last_prune = self._now
+        return finest_key
+
+    def _thresholds(self, height: int) -> Tuple[float, float]:
+        level = self._levels[height - 1]
+        n_cells = max(1, len(level))
+        steady_total = 1.0 / (1.0 - self.decay_factor)
+        dense = self.c_m * steady_total / n_cells
+        sparse = self.c_l * steady_total / n_cells
+        return dense, sparse
+
+    def _prune(self) -> None:
+        for height in range(1, self.max_height + 1):
+            _, sparse = self._thresholds(height)
+            level = self._levels[height - 1]
+            for key in list(level):
+                node = level[key]
+                node.decay(self._now, self.decay_factor)
+                if node.density <= sparse * 0.5:
+                    del level[key]
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _neighbours(key: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+        result = []
+        for axis in range(len(key)):
+            for offset in (-1, 1):
+                neighbour = list(key)
+                neighbour[axis] += offset
+                result.append(tuple(neighbour))
+        return result
+
+    def request_clustering(self) -> None:
+        """Offline phase at ``clustering_height``: group adjacent dense cells."""
+        height = self.clustering_height
+        dense_threshold, sparse_threshold = self._thresholds(height)
+        level = self._levels[height - 1]
+        dense = []
+        transitional = []
+        for key, node in level.items():
+            node.decay(self._now, self.decay_factor)
+            if node.density >= dense_threshold:
+                dense.append(key)
+            elif node.density > sparse_threshold:
+                transitional.append(key)
+        labels: Dict[Tuple[int, ...], int] = {}
+        dense_set = set(dense)
+        cluster_id = 0
+        for key in dense:
+            if key in labels:
+                continue
+            labels[key] = cluster_id
+            queue = deque([key])
+            while queue:
+                current = queue.popleft()
+                for neighbour in self._neighbours(current):
+                    if neighbour in dense_set and neighbour not in labels:
+                        labels[neighbour] = cluster_id
+                        queue.append(neighbour)
+            cluster_id += 1
+        for key in transitional:
+            for neighbour in self._neighbours(key):
+                if neighbour in labels and neighbour in dense_set:
+                    labels[key] = labels[neighbour]
+                    break
+        self._macro_labels = labels
+        self._macro_stale = False
+
+    def predict_one(self, values: Sequence[float]) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        key = self._cell_of(np.asarray(values, dtype=float), self.clustering_height)
+        return self._macro_labels.get(key, -1)
+
+    @property
+    def n_clusters(self) -> int:
+        if self._macro_stale:
+            self.request_clustering()
+        return len(set(self._macro_labels.values()))
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of occupied cells over all resolutions."""
+        return sum(len(level) for level in self._levels)

@@ -1,0 +1,245 @@
+"""SOStream (Isaksson, Dunham & Hahsler, MLDM 2012).
+
+SOStream is a self-organising density-based stream clusterer: every arriving
+point competes for a *winner* micro-cluster; when the point falls inside the
+winner's dynamically-estimated radius the winner absorbs it and drags its
+neighbouring micro-clusters towards itself (the self-organising-map step),
+otherwise a new micro-cluster is created.  Micro-clusters that drift within
+a merge distance of the winner are merged, so the set of micro-clusters *is*
+the clustering — there is no separate offline phase.
+
+It is cited by the paper as related work ([14]); we include it as an extra
+single-phase competitor for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines._centers import CenterArray
+from repro.baselines.base import StreamClusterer
+
+_so_counter = itertools.count(1)
+
+
+@dataclass
+class _SOMicroCluster:
+    """One SOStream micro-cluster (centroid, adaptive radius, decayed weight)."""
+
+    centroid: np.ndarray
+    radius: float = 0.0
+    weight: float = 1.0
+    last_update: float = 0.0
+    mc_id: int = field(default_factory=lambda: next(_so_counter))
+
+    def fade(self, now: float, decay_factor: float) -> None:
+        """Decay the weight to the current time."""
+        if now <= self.last_update:
+            return
+        self.weight *= decay_factor ** (now - self.last_update)
+        self.last_update = now
+
+
+class SOStream(StreamClusterer):
+    """Self-organising density-based clustering over a data stream.
+
+    Parameters
+    ----------
+    alpha:
+        Learning rate of the winner's movement towards the absorbed point.
+    min_pts:
+        Neighbourhood size: the winner's radius is its distance to its
+        ``min_pts``-th nearest fellow micro-cluster.
+    merge_threshold:
+        Two micro-clusters closer than this are merged after an absorption.
+    decay_a, decay_lambda:
+        Exponential fading parameters (per second); the effective per-second
+        factor is ``decay_a ** (-decay_lambda)`` for a > 1.
+    fade_gap:
+        How often (in stream time) faded micro-clusters are pruned.
+    weight_threshold:
+        Micro-clusters whose decayed weight falls below this are pruned.
+    """
+
+    name = "SOStream"
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        min_pts: int = 2,
+        merge_threshold: float = 0.1,
+        decay_a: float = 0.998,
+        decay_lambda: float = 1.0,
+        fade_gap: float = 1.0,
+        weight_threshold: float = 0.25,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if min_pts < 1:
+            raise ValueError(f"min_pts must be >= 1, got {min_pts}")
+        if merge_threshold < 0:
+            raise ValueError(f"merge_threshold must be non-negative, got {merge_threshold}")
+        if fade_gap <= 0:
+            raise ValueError(f"fade_gap must be positive, got {fade_gap}")
+        self.alpha = alpha
+        self.min_pts = min_pts
+        self.merge_threshold = merge_threshold
+        self.decay_factor = (
+            decay_a ** (-abs(decay_lambda)) if decay_a > 1 else decay_a ** abs(decay_lambda)
+        )
+        if not 0.0 < self.decay_factor < 1.0:
+            raise ValueError(
+                f"decay parameters produce an invalid decay factor {self.decay_factor}"
+            )
+        self.fade_gap = fade_gap
+        self.weight_threshold = weight_threshold
+
+        self._clusters: Dict[int, _SOMicroCluster] = {}
+        self._centers = CenterArray()
+        self._now = 0.0
+        self._last_fade = 0.0
+        self._labels: Dict[int, int] = {}
+        self._labels_stale = True
+        #: Number of merge operations performed (exposed for tests/reports).
+        self.n_merges = 0
+
+    # ------------------------------------------------------------------ #
+    # online phase
+    # ------------------------------------------------------------------ #
+    def learn_one(
+        self, values: Sequence[float], timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> int:
+        point = np.asarray(values, dtype=float)
+        if timestamp is None:
+            timestamp = self._now + 1.0
+        self._now = max(self._now, timestamp)
+        self._labels_stale = True
+
+        winner_id = self._winner(point)
+        # Absorption requires at least min_pts micro-clusters (the original
+        # SOStream gate): before that the neighbourhood radius is not a
+        # meaningful density estimate and every point seeds its own cluster.
+        if winner_id is None or len(self._clusters) < self.min_pts:
+            assigned = self._create(point)
+        else:
+            winner = self._clusters[winner_id]
+            winner.radius = self._neighbourhood_radius(winner_id)
+            distance = float(np.linalg.norm(point - winner.centroid))
+            if winner.radius > 0 and distance <= winner.radius:
+                self._absorb(winner, point)
+                self._merge_overlapping(winner)
+                assigned = winner.mc_id
+            else:
+                assigned = self._create(point)
+
+        if self._now - self._last_fade >= self.fade_gap:
+            self._fade_and_prune()
+            self._last_fade = self._now
+        return assigned
+
+    def _winner(self, point: np.ndarray) -> Optional[int]:
+        nearest = self._centers.nearest(point)
+        return None if nearest is None else int(nearest[0])
+
+    def _create(self, point: np.ndarray) -> int:
+        cluster = _SOMicroCluster(centroid=point.copy(), weight=1.0, last_update=self._now)
+        self._clusters[cluster.mc_id] = cluster
+        self._centers.add(cluster.mc_id, cluster.centroid)
+        return cluster.mc_id
+
+    def _neighbourhood_radius(self, mc_id: int) -> float:
+        """Distance from ``mc_id`` to its ``min_pts``-th nearest micro-cluster."""
+        if len(self._clusters) <= 1:
+            return 0.0
+        center = self._clusters[mc_id].centroid
+        keys, distances = self._centers.distances_to(center)
+        others = sorted(
+            distances[i] for i in range(len(keys)) if keys[i] != mc_id
+        )
+        k = min(self.min_pts, len(others))
+        return float(others[k - 1]) if k >= 1 else 0.0
+
+    def _absorb(self, winner: _SOMicroCluster, point: np.ndarray) -> None:
+        winner.fade(self._now, self.decay_factor)
+        winner.weight += 1.0
+        winner.centroid = winner.centroid + self.alpha * (point - winner.centroid)
+        self._centers.update(winner.mc_id, winner.centroid)
+
+        # Self-organising step: drag the winner's neighbours towards it with a
+        # Gaussian influence of their distance.
+        if winner.radius <= 0:
+            return
+        keys, distances = self._centers.distances_to(winner.centroid)
+        for i in range(len(keys)):
+            mc_id = int(keys[i])
+            if mc_id == winner.mc_id or distances[i] > winner.radius:
+                continue
+            neighbour = self._clusters[mc_id]
+            influence = math.exp(-(distances[i] ** 2) / (2.0 * winner.radius ** 2))
+            neighbour.centroid = neighbour.centroid + self.alpha * influence * (
+                winner.centroid - neighbour.centroid
+            )
+            self._centers.update(mc_id, neighbour.centroid)
+
+    def _merge_overlapping(self, winner: _SOMicroCluster) -> None:
+        keys, distances = self._centers.distances_to(winner.centroid)
+        for i in range(len(keys)):
+            mc_id = int(keys[i])
+            if mc_id == winner.mc_id or mc_id not in self._clusters:
+                continue
+            if distances[i] > self.merge_threshold:
+                continue
+            other = self._clusters.pop(mc_id)
+            self._centers.remove(mc_id)
+            total = winner.weight + other.weight
+            winner.centroid = (
+                winner.weight * winner.centroid + other.weight * other.centroid
+            ) / total
+            winner.weight = total
+            winner.radius = max(winner.radius, other.radius)
+            self._centers.update(winner.mc_id, winner.centroid)
+            self.n_merges += 1
+
+    def _fade_and_prune(self) -> None:
+        for mc_id in list(self._clusters):
+            cluster = self._clusters[mc_id]
+            cluster.fade(self._now, self.decay_factor)
+            if cluster.weight < self.weight_threshold and len(self._clusters) > 1:
+                del self._clusters[mc_id]
+                self._centers.remove(mc_id)
+
+    # ------------------------------------------------------------------ #
+    # clustering queries
+    # ------------------------------------------------------------------ #
+    def request_clustering(self) -> None:
+        """Assign compact macro labels to the surviving micro-clusters."""
+        ordered = sorted(self._clusters)
+        self._labels = {mc_id: i for i, mc_id in enumerate(ordered)}
+        self._labels_stale = False
+
+    def predict_one(self, values: Sequence[float]) -> int:
+        if self._labels_stale:
+            self.request_clustering()
+        nearest = self._centers.nearest(np.asarray(values, dtype=float))
+        if nearest is None:
+            return -1
+        mc_id, distance = nearest
+        cluster = self._clusters[int(mc_id)]
+        reach = max(cluster.radius, self.merge_threshold)
+        if reach > 0 and distance > 2.0 * reach:
+            return -1
+        return self._labels.get(int(mc_id), -1)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._clusters)
+
+    @property
+    def n_micro_clusters(self) -> int:
+        """Alias of :attr:`n_clusters` (SOStream has a single granularity)."""
+        return len(self._clusters)

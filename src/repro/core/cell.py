@@ -1,0 +1,116 @@
+"""The cluster-cell summary structure (Definition 4).
+
+A cluster-cell summarises a group of close points by a seed point, a timely
+density ρ (sum of the member points' freshness) and a dependent distance δ
+(distance from the seed to the nearest seed of a higher-density cell).  The
+density is stored lazily: ``density`` is the value at ``last_update`` and is
+decayed multiplicatively whenever it is read at a later time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.decay import DecayModel
+
+_cell_id_counter = itertools.count(1)
+
+
+def _next_cell_id() -> int:
+    return next(_cell_id_counter)
+
+
+def ensure_cell_id_floor(minimum: int) -> None:
+    """Advance the global cell-id counter so new ids start above ``minimum``.
+
+    Used when restoring a persisted model (:mod:`repro.core.persistence`):
+    cells created after the restore must not collide with the restored ids.
+    """
+    global _cell_id_counter
+    current = next(_cell_id_counter)
+    _cell_id_counter = itertools.count(max(current, minimum + 1))
+
+
+@dataclass
+class ClusterCell:
+    """A cluster-cell: seed point + timely density + dependency information.
+
+    Parameters
+    ----------
+    seed:
+        The seed point.  A cell summarises the points whose nearest seed is
+        this one and whose distance to it is at most the radius ``r``.  The
+        seed never moves after creation.
+    density:
+        Timely density ρ at time ``last_update``.
+    created_at:
+        Time the cell was created (= arrival time of its seed point).
+    last_update:
+        Time at which ``density`` was last brought up to date.
+    last_absorb:
+        Time the cell last absorbed a point (used for outdated-cell deletion).
+    dependency:
+        Cell id of the nearest higher-density cell (``None`` for the absolute
+        density peak, the root of the DP-Tree).
+    delta:
+        Dependent distance δ to the dependency (``inf`` for the root).
+    points_absorbed:
+        Total number of points ever absorbed (not decayed; bookkeeping only).
+    label_votes:
+        Optional ground-truth label histogram maintained by the evaluation
+        harness; the clusterer itself never reads it.
+    """
+
+    seed: Any
+    density: float = 1.0
+    created_at: float = 0.0
+    last_update: float = 0.0
+    last_absorb: float = 0.0
+    dependency: Optional[int] = None
+    delta: float = float("inf")
+    points_absorbed: int = 1
+    cell_id: int = field(default_factory=_next_cell_id)
+    label_votes: dict = field(default_factory=dict)
+
+    def density_at(self, now: float, decay: DecayModel) -> float:
+        """Timely density at time ``now`` (lazy decay of the stored value)."""
+        if now < self.last_update:
+            # Clock skew guard: never "undecay"; treat as current value.
+            return self.density
+        return decay.decay_density(self.density, now - self.last_update)
+
+    def refresh(self, now: float, decay: DecayModel) -> float:
+        """Decay the stored density up to ``now`` and return it."""
+        self.density = self.density_at(now, decay)
+        self.last_update = now
+        return self.density
+
+    def absorb(self, now: float, decay: DecayModel, weight: float = 1.0,
+               label: Optional[int] = None) -> float:
+        """Absorb a point at time ``now`` (Equation 8) and return the new density."""
+        self.density = self.density_at(now, decay) + weight
+        self.last_update = now
+        self.last_absorb = now
+        self.points_absorbed += 1
+        if label is not None:
+            self.label_votes[label] = self.label_votes.get(label, 0) + 1
+        return self.density
+
+    def majority_label(self) -> Optional[int]:
+        """Most frequent ground-truth label among absorbed points, if tracked."""
+        if not self.label_votes:
+            return None
+        return max(self.label_votes.items(), key=lambda kv: kv[1])[0]
+
+    def idle_time(self, now: float) -> float:
+        """Time since the cell last absorbed a point."""
+        return max(0.0, now - self.last_absorb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dep = self.dependency if self.dependency is not None else "root"
+        return (
+            f"ClusterCell(id={self.cell_id}, rho={self.density:.3f}, "
+            f"delta={self.delta:.3f}, dep={dep})"
+        )

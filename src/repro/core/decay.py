@@ -1,0 +1,141 @@
+"""Exponential time-decay model (Section 3.1 of the paper).
+
+The freshness of a point that arrived at time ``ti`` observed at time ``t``
+is ``f = a ** (lambda * (t - ti))`` (Equation 3).  The paper uses
+``a = 0.998`` and ``lambda = 1`` so that freshness lies in ``(0, 1]``.
+
+Densities of cluster-cells are sums of freshness values.  Because every
+point decays at the same multiplicative rate, a cell's density can be
+updated lazily: if a cell had density ``rho`` at time ``tj`` and absorbs a
+point at ``tj+1``, its new density is ``a ** (lambda * (tj+1 - tj)) * rho + 1``
+(Equation 8).  :class:`DecayModel` implements those primitives plus the
+active-threshold and safe-deletion-interval formulas of Sections 4.3-4.4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DecayModel:
+    """Exponential decay model with base ``a`` and exponent scale ``lam``.
+
+    Parameters
+    ----------
+    a:
+        Decay base, must lie in (0, 1).  The paper uses 0.998.
+    lam:
+        Decay exponent multiplier λ, must be positive.  The paper uses 1.
+    """
+
+    a: float = 0.998
+    lam: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.a < 1.0:
+            raise ValueError(f"decay base a must be in (0, 1), got {self.a}")
+        if self.lam <= 0.0:
+            raise ValueError(f"decay exponent lam must be positive, got {self.lam}")
+
+    @property
+    def rate(self) -> float:
+        """The per-unit-time multiplicative decay factor ``a ** lam``."""
+        return self.a ** self.lam
+
+    def freshness(self, arrival_time: float, now: float) -> float:
+        """Freshness ``a ** (λ (now - arrival_time))`` of a single point (Eq. 3)."""
+        if now < arrival_time:
+            raise ValueError(
+                f"observation time {now} precedes arrival time {arrival_time}"
+            )
+        return self.a ** (self.lam * (now - arrival_time))
+
+    def decay_factor(self, elapsed: float) -> float:
+        """Multiplicative factor applied to a density after ``elapsed`` time."""
+        if elapsed < 0:
+            raise ValueError(f"elapsed time must be non-negative, got {elapsed}")
+        return self.a ** (self.lam * elapsed)
+
+    def decay_density(self, density: float, elapsed: float) -> float:
+        """Decay a density value by ``elapsed`` time units."""
+        return density * self.decay_factor(elapsed)
+
+    def absorb(self, density: float, elapsed: float, weight: float = 1.0) -> float:
+        """Density after decaying ``elapsed`` time and absorbing one point (Eq. 8).
+
+        ``weight`` allows fractional or weighted points; the paper uses 1.
+        """
+        return self.decay_density(density, elapsed) + weight
+
+    def total_weight(self, rate: float) -> float:
+        """Steady-state sum of freshness for a stream arriving at ``rate`` pt/s.
+
+        The paper (Section 4.3) notes that for an unbounded stream with fixed
+        arrival rate ``v`` the sum of all freshness values converges to
+        ``v / (1 - a ** λ)``.
+        """
+        if rate <= 0:
+            raise ValueError(f"stream rate must be positive, got {rate}")
+        return rate / (1.0 - self.rate)
+
+    def active_threshold(self, beta: float, rate: float) -> float:
+        """Density threshold ``β·v / (1 - a^λ)`` separating active from inactive cells."""
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        return beta * self.total_weight(rate)
+
+    def beta_lower_bound(self, rate: float) -> float:
+        """Smallest admissible β, ``(1 - a^λ) / v`` (Section 4.3).
+
+        A brand-new cell has density 1 and must be classified as inactive,
+        which requires ``1 < β·v / (1 - a^λ)``, i.e. ``β > (1 - a^λ)/v``.
+        """
+        if rate <= 0:
+            raise ValueError(f"stream rate must be positive, got {rate}")
+        return (1.0 - self.rate) / rate
+
+    def safe_deletion_interval(self, beta: float, rate: float) -> float:
+        """Time ΔT_del after which an idle inactive cell can be deleted (Theorem 3).
+
+        An inactive cell's density is below the active threshold
+        ``T = β·v/(1 - a^λ)``; once it has decayed below 1 (the density of a
+        brand-new cell) it can never out-compete a freshly created cell and
+        is safe to delete.  Solving ``T · a^{λ·ΔT} < 1`` gives
+
+        ``ΔT_del > (log_a(1 - a^λ) - log_a(β·v)) / λ``.
+
+        Theorem 3 in the paper divides by ``λ·v`` because its proof decays
+        densities by ``a^{λ·v·ΔT}`` (elapsed *points* rather than elapsed
+        time); the expression above is the form consistent with the decay
+        function of Equation 3 (``a^{λ·Δt}``) used throughout this library.
+        Both agree when time is measured in points (v = 1).
+        """
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        if rate <= 0:
+            raise ValueError(f"stream rate must be positive, got {rate}")
+        log_a = math.log(self.a)
+        numerator = math.log(1.0 - self.rate) / log_a - math.log(beta * rate) / log_a
+        return numerator / self.lam
+
+    def half_life(self) -> float:
+        """Time for freshness to halve; a convenience for choosing parameters."""
+        return math.log(0.5) / (self.lam * math.log(self.a))
+
+
+def equivalent_lambda(a_target: float, decay_rate: float) -> float:
+    """Solve ``a_target ** λ == decay_rate`` for λ.
+
+    The paper (Section 6.1) aligns competitors that hard-code a different
+    base ``a`` by adjusting λ so that every algorithm decays at the same
+    effective rate.  For example DenStream fixes ``a = 2`` and the paper sets
+    ``λ = 0.0028`` so that ``2 ** -0.0028... ≈ 0.998``; MR-Stream fixes
+    ``a = 1.002`` and uses ``λ = -1``.
+    """
+    if a_target <= 0 or a_target == 1.0:
+        raise ValueError(f"decay base must be positive and != 1, got {a_target}")
+    if decay_rate <= 0 or decay_rate >= 1.0:
+        raise ValueError(f"target decay rate must be in (0, 1), got {decay_rate}")
+    return math.log(decay_rate) / math.log(a_target)

@@ -1,0 +1,675 @@
+"""The EDMStream online clustering algorithm (Section 4).
+
+EDMStream summarises the stream into cluster-cells, keeps the dense
+("active") cells in a DP-Tree whose weak links (dependent distance > τ)
+separate the density mountains, caches sparse ("inactive") cells in an
+outlier reservoir, and tracks cluster evolution by observing how the
+MSDSubTree partition changes over time.
+
+The per-point work is:
+
+1. *Assignment* — the point is absorbed by the nearest cell whose seed is
+   within the radius ``r``; otherwise it seeds a new inactive cell.
+2. *Density update* — the absorbing cell's timely density is decayed to the
+   current time and incremented (Equation 8).
+3. *Activation* — an inactive cell whose density reaches the active
+   threshold is inserted into the DP-Tree.
+4. *Dependency update* — the absorbing cell's own dependency is refreshed
+   and other active cells are re-examined, with the Theorem 1 / Theorem 2
+   filters skipping the vast majority of candidates.
+5. *Maintenance* (periodic) — decayed cells move to the outlier reservoir,
+   outdated reservoir cells are deleted (Theorem 3), τ is re-optimised
+   (Section 5) and an evolution snapshot is taken.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adaptive_tau import TauOptimizer, suggest_initial_tau
+from repro.core.cell import ClusterCell
+from repro.core.cellstore import CellStore
+from repro.core.config import EDMStreamConfig
+from repro.core.decay import DecayModel
+from repro.core.dptree import DPTree
+from repro.core.evolution import EvolutionTracker
+from repro.core.filters import DependencyFilter, FilterStatistics
+from repro.core.reservoir import OutlierReservoir
+from repro.distance import get_metric
+
+
+class EDMStream:
+    """Online density-mountain stream clustering.
+
+    Parameters
+    ----------
+    config:
+        An :class:`~repro.core.config.EDMStreamConfig`; ``None`` uses the
+        defaults (which match the paper's parameter choices).
+    **overrides:
+        Convenience keyword overrides applied on top of ``config``
+        (e.g. ``EDMStream(radius=0.5, beta=0.001)``).
+    """
+
+    def __init__(self, config: Optional[EDMStreamConfig] = None, **overrides: Any) -> None:
+        if config is None:
+            config = EDMStreamConfig(**overrides)
+        elif overrides:
+            params = {**config.__dict__, **overrides}
+            config = EDMStreamConfig(**params)
+        self.config = config
+        self.decay = DecayModel(a=config.decay_a, lam=config.decay_lambda)
+        self.tree = DPTree()
+        self.reservoir = OutlierReservoir(
+            decay=self.decay,
+            beta=config.beta,
+            stream_rate=config.stream_rate,
+            delete_outdated=config.delete_outdated,
+        )
+        self.evolution = EvolutionTracker()
+        self.tau_optimizer = TauOptimizer(alpha=config.alpha)
+        self.filter = DependencyFilter(
+            enable_density_filter=config.enable_density_filter,
+            enable_triangle_filter=config.enable_triangle_filter,
+        )
+
+        self._numeric = config.metric not in ("jaccard",)
+        self._metric = get_metric(config.metric)
+        self._active = CellStore(numeric=self._numeric, metric=self._metric)
+        self._inactive = CellStore(numeric=self._numeric, metric=self._metric)
+
+        self._tau: Optional[float] = config.tau
+        self._now: float = 0.0
+        self._start_time: Optional[float] = None
+        self._n_points = 0
+        self._initialized = False
+        self._last_maintenance = 0.0
+        self._last_snapshot = 0.0
+        self._last_tau_opt = 0.0
+
+        #: Wall-clock seconds spent in dependency updates (Figure 11).
+        self.dependency_update_seconds = 0.0
+        #: Wall-clock seconds spent in learn_one overall.
+        self.total_learn_seconds = 0.0
+        #: History of (time, reservoir size) samples, one per maintenance sweep.
+        self.reservoir_size_history: List[Tuple[float, int]] = []
+        #: History of (time, tau) values after each re-optimisation.
+        self.tau_history: List[Tuple[float, float]] = []
+
+    # ------------------------------------------------------------------ #
+    # public properties
+    # ------------------------------------------------------------------ #
+    @property
+    def tau(self) -> Optional[float]:
+        """Current cluster-separation threshold τ (None before initialisation)."""
+        return self._tau
+
+    @property
+    def alpha(self) -> Optional[float]:
+        """Learned balance parameter α of the τ objective."""
+        return self.tau_optimizer.alpha
+
+    @property
+    def now(self) -> float:
+        """Latest stream timestamp seen."""
+        return self._now
+
+    @property
+    def n_points(self) -> int:
+        """Number of points ingested."""
+        return self._n_points
+
+    @property
+    def n_active_cells(self) -> int:
+        """Number of cluster-cells currently in the DP-Tree."""
+        return len(self.tree)
+
+    @property
+    def n_inactive_cells(self) -> int:
+        """Number of cluster-cells currently in the outlier reservoir."""
+        return len(self.reservoir)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of MSDSubTrees under the current τ."""
+        if self._tau is None or len(self.tree) == 0:
+            return 0
+        return self.tree.num_clusters(self._tau)
+
+    @property
+    def filter_stats(self) -> FilterStatistics:
+        """Counters of filtered / performed dependency updates."""
+        return self.filter.stats
+
+    @property
+    def initialized(self) -> bool:
+        """Whether the initial DP-Tree has been built."""
+        return self._initialized
+
+    # ------------------------------------------------------------------ #
+    # thresholds
+    # ------------------------------------------------------------------ #
+    def active_threshold(self, now: Optional[float] = None) -> float:
+        """Density threshold separating active from inactive cells.
+
+        Asymptotically this is the paper's ``β·v / (1 - a^λ)``.  Before the
+        stream has run long enough for the total freshness to reach its
+        steady state, the threshold is scaled by the fraction of the steady
+        state actually attainable — otherwise nothing could be active during
+        the first seconds of the stream (Figure 7 shows clusters from t = 1 s
+        onwards).  The threshold never drops below 1 so that a brand-new cell
+        (density exactly 1) is always inactive, as required in Section 4.3.
+        """
+        if now is None:
+            now = self._now
+        steady = self.decay.active_threshold(self.config.beta, self.config.stream_rate)
+        if self._start_time is None:
+            return max(1.0, steady)
+        elapsed = max(0.0, now - self._start_time)
+        warmup_fraction = 1.0 - self.decay.decay_factor(elapsed)
+        return max(1.0 + 1e-12, steady * warmup_fraction)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def learn_one(
+        self, values: Any, timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> int:
+        """Ingest one point; returns the id of the cell that absorbed it."""
+        started = _time.perf_counter()
+        point = self._prepare(values)
+        if timestamp is None:
+            timestamp = self._now + 1.0 / self.config.stream_rate if self._n_points else 0.0
+        if self._start_time is None:
+            self._start_time = timestamp
+        self._now = max(self._now, timestamp)
+        self._n_points += 1
+
+        cell_id = self._assign(point, self._now, label)
+
+        if not self._initialized:
+            if self._n_points >= self.config.init_size:
+                self._initialize(self._now)
+        else:
+            self._periodic_work(self._now)
+
+        self.total_learn_seconds += _time.perf_counter() - started
+        return cell_id
+
+    def learn_many(
+        self,
+        stream: Iterable[Any],
+    ) -> List[int]:
+        """Ingest an iterable of :class:`~repro.streams.point.StreamPoint`."""
+        assigned = []
+        for point in stream:
+            assigned.append(
+                self.learn_one(point.values, timestamp=point.timestamp, label=point.label)
+            )
+        return assigned
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def clusters(self) -> Dict[int, List[int]]:
+        """Current MSDSubTree partition: cluster root id -> member cell ids."""
+        if len(self.tree) == 0:
+            return {}
+        tau = self._effective_tau()
+        return self.tree.clusters(tau)
+
+    def partition_snapshot(self) -> Dict[int, FrozenSet[int]]:
+        """Partition with frozen member sets, suitable for evolution tracking."""
+        return {root: frozenset(members) for root, members in self.clusters().items()}
+
+    def cluster_label_of_cell(self, cell_id: int) -> int:
+        """Cluster root id of a cell, or the outlier label if it is not active."""
+        if cell_id not in self.tree:
+            return self.config.outlier_label
+        tau = self._effective_tau()
+        assignment = self.tree.cluster_assignment(tau)
+        return assignment.get(cell_id, self.config.outlier_label)
+
+    def cell_assignment(self) -> Dict[int, int]:
+        """Mapping of every active cell id to its cluster root id."""
+        if len(self.tree) == 0:
+            return {}
+        return self.tree.cluster_assignment(self._effective_tau())
+
+    def predict_one(self, values: Any) -> int:
+        """Cluster label for a point under the current model (no learning).
+
+        Returns the root cell id of the cluster whose nearest active cell
+        covers the point, or ``config.outlier_label``.  Coverage extends to
+        twice the cell radius: a point can legitimately sit in an inactive
+        border cell whose own seed is up to ``r`` away from the nearest
+        active seed, so the cluster footprint reaches ``2r`` beyond the
+        active seeds (points farther than that are halos / outliers).
+        """
+        if len(self.tree) == 0:
+            return self.config.outlier_label
+        point = self._prepare(values)
+        nearest = self._active.nearest(point)
+        if nearest is None:
+            return self.config.outlier_label
+        cell_id, distance = nearest
+        if distance > 2.0 * self.config.radius:
+            return self.config.outlier_label
+        return self.cluster_label_of_cell(cell_id)
+
+    def decision_graph(self) -> List[Tuple[float, float, int]]:
+        """(ρ, δ, cell id) triples of the active cells — the decision graph of Fig. 2b."""
+        now = self._now
+        graph = []
+        for cell in self.tree.cells():
+            graph.append((cell.density_at(now, self.decay), cell.delta, cell.cell_id))
+        graph.sort(key=lambda item: (-item[0], item[1]))
+        return graph
+
+    def summary(self) -> Dict[str, Any]:
+        """A snapshot of the main state variables, for logging and reports."""
+        return {
+            "points": self._n_points,
+            "time": self._now,
+            "active_cells": self.n_active_cells,
+            "inactive_cells": self.n_inactive_cells,
+            "clusters": self.n_clusters,
+            "tau": self._tau,
+            "alpha": self.alpha,
+            "active_threshold": self.active_threshold(),
+            "filter_stats": self.filter.stats.as_dict(),
+            "dependency_update_seconds": self.dependency_update_seconds,
+        }
+
+    # ------------------------------------------------------------------ #
+    # internals: assignment
+    # ------------------------------------------------------------------ #
+    def _prepare(self, values: Any) -> Any:
+        if self._numeric:
+            return tuple(float(v) for v in values)
+        return values
+
+    def _effective_tau(self) -> float:
+        if self._tau is not None:
+            return self._tau
+        deltas = self.tree.deltas()
+        return suggest_initial_tau(deltas) if deltas else 1.0
+
+    def _assign(self, point: Any, now: float, label: Optional[int]) -> int:
+        active_distances = self._active.distances_to(point)
+        inactive_distances = self._inactive.distances_to(point)
+
+        best_id: Optional[int] = None
+        best_distance = math.inf
+        best_in_tree = False
+        if active_distances.size:
+            position = int(np.argmin(active_distances))
+            best_id = self._active.id_at(position)
+            best_distance = float(active_distances[position])
+            best_in_tree = True
+        if inactive_distances.size:
+            position = int(np.argmin(inactive_distances))
+            distance = float(inactive_distances[position])
+            if distance < best_distance:
+                best_id = self._inactive.id_at(position)
+                best_distance = distance
+                best_in_tree = False
+
+        if best_id is None or best_distance > self.config.radius:
+            return self._create_cell(point, now, label)
+
+        if best_in_tree:
+            self._absorb_active(best_id, point, now, label, active_distances)
+        else:
+            self._absorb_inactive(best_id, now, label)
+        return best_id
+
+    def _create_cell(self, point: Any, now: float, label: Optional[int]) -> int:
+        cell = ClusterCell(
+            seed=point,
+            density=1.0,
+            created_at=now,
+            last_update=now,
+            last_absorb=now,
+        )
+        if label is not None:
+            cell.label_votes[label] = 1
+        self.reservoir.add(cell)
+        self._inactive.add(cell)
+        return cell.cell_id
+
+    def _absorb_inactive(self, cell_id: int, now: float, label: Optional[int]) -> None:
+        cell = self.reservoir.get(cell_id)
+        cell.absorb(now, self.decay, label=label)
+        self._inactive.update_density(cell_id, cell.density, cell.last_update)
+        if self._initialized and cell.density >= self.active_threshold(now):
+            self._activate_cell(cell_id, now)
+
+    # ------------------------------------------------------------------ #
+    # internals: dependency maintenance
+    # ------------------------------------------------------------------ #
+    def _absorb_active(
+        self,
+        cell_id: int,
+        point: Any,
+        now: float,
+        label: Optional[int],
+        active_distances: np.ndarray,
+    ) -> None:
+        cell = self.tree.get(cell_id)
+        rho_before = cell.density_at(now, self.decay)
+        cell.absorb(now, self.decay, label=label)
+        rho_after = cell.density
+        self._active.update_density(cell_id, cell.density, cell.last_update)
+
+        if not self._initialized:
+            return
+
+        started = _time.perf_counter()
+        point_to_absorber = float(active_distances[self._active.position_of(cell_id)])
+        self.filter.begin_event(rho_before, rho_after, point_to_absorber)
+        self._refresh_own_dependency(cell, now)
+        self._update_candidate_dependencies(cell, now, rho_before, rho_after, active_distances)
+        self.dependency_update_seconds += _time.perf_counter() - started
+
+    def _refresh_own_dependency(self, cell: ClusterCell, now: float) -> None:
+        """Refresh the absorbing cell's own dependency after its density rose.
+
+        If its current dependency still has strictly higher density the set
+        of higher-density cells it sees (F) still contains the previous
+        argmin, so δ is unchanged and the recomputation can be skipped.
+        """
+        dependency = cell.dependency
+        if dependency is not None and dependency in self.tree:
+            parent = self.tree.get(dependency)
+            if self._is_higher(
+                parent.density_at(now, self.decay), parent.cell_id, cell.density, cell.cell_id
+            ):
+                return
+        self._recompute_dependency(cell, now)
+
+    def _recompute_dependency(self, cell: ClusterCell, now: float) -> None:
+        """Recompute a cell's nearest higher-density cell from scratch (Eq. 7/9)."""
+        densities = self._active.densities_at(now, self.decay)
+        if densities.size == 0:
+            self.tree.set_dependency(cell.cell_id, None, math.inf)
+            self._active.update_delta(cell.cell_id, math.inf)
+            return
+        ids = np.asarray(self._active.ids())
+        rho = cell.density_at(now, self.decay)
+        higher = (densities > rho) | ((densities == rho) & (ids < cell.cell_id))
+        higher &= ids != cell.cell_id
+        if not np.any(higher):
+            self.tree.set_dependency(cell.cell_id, None, math.inf)
+            self._active.update_delta(cell.cell_id, math.inf)
+            return
+        positions = np.flatnonzero(higher)
+        distances = self._active.distances_to_subset(cell.seed, positions)
+        self.filter.stats.distance_computations += int(positions.size)
+        best_offset = int(np.argmin(distances))
+        best_id = int(ids[positions[best_offset]])
+        best_distance = float(distances[best_offset])
+        if best_id != cell.dependency or best_distance != cell.delta:
+            self.filter.stats.dependency_changes += 1
+        self.tree.set_dependency(cell.cell_id, best_id, best_distance)
+        self._active.update_delta(cell.cell_id, best_distance)
+
+    def _update_candidate_dependencies(
+        self,
+        absorber: ClusterCell,
+        now: float,
+        rho_before: float,
+        rho_after: float,
+        active_distances: np.ndarray,
+    ) -> None:
+        """Re-examine other active cells whose dependency may now be the absorber.
+
+        Implements the filtered update of Section 4.2: a candidate cell c
+        needs re-examination only if the absorber newly entered c's set of
+        higher-density cells (density filter, Theorem 1) and could be closer
+        than c's current dependency (triangle-inequality filter, Theorem 2).
+        """
+        size = len(self._active)
+        if size <= 1:
+            return
+        ids = np.asarray(self._active.ids())
+        densities = self._active.densities_at(now, self.decay)
+        deltas = self._active.deltas()
+        absorber_position = self._active.position_of(absorber.cell_id)
+        point_to_absorber = float(active_distances[absorber_position])
+
+        candidate = ids != absorber.cell_id
+        n_candidates = int(np.count_nonzero(candidate))
+        self.filter.stats.candidates += n_candidates
+
+        # Only cells the absorber now dominates can ever point at it; this is
+        # part of the dependency definition (Eq. 7), not an optional filter.
+        dominated = (densities < rho_after) | (
+            (densities == rho_after) & (ids > absorber.cell_id)
+        )
+
+        survivors = candidate.copy()
+        if self.config.enable_density_filter:
+            # Theorem 1: only cells for which the absorber *newly* entered the
+            # higher-density set need re-examination, i.e. previously not
+            # dominated (rho_c >= rho_before) and now dominated (rho_c < rho_after).
+            survivors &= dominated & (densities >= rho_before)
+            self.filter.stats.density_filtered += n_candidates - int(
+                np.count_nonzero(survivors)
+            )
+
+        if self.config.enable_triangle_filter and np.any(survivors):
+            before_triangle = int(np.count_nonzero(survivors))
+            triangle_ok = np.abs(active_distances - point_to_absorber) <= deltas
+            survivors &= triangle_ok
+            self.filter.stats.triangle_filtered += before_triangle - int(
+                np.count_nonzero(survivors)
+            )
+
+        positions = np.flatnonzero(survivors)
+        if positions.size == 0:
+            return
+
+        seed_distances = self._active.distances_to_subset(absorber.seed, positions)
+        self.filter.stats.distance_computations += int(positions.size)
+        for offset, position in enumerate(positions):
+            if not dominated[position]:
+                continue
+            distance = float(seed_distances[offset])
+            if distance >= deltas[position]:
+                continue
+            candidate_id = int(ids[position])
+            self.tree.set_dependency(candidate_id, absorber.cell_id, distance)
+            self._active.update_delta(candidate_id, distance)
+            self.filter.stats.dependency_changes += 1
+
+    @staticmethod
+    def _is_higher(rho_a: float, id_a: int, rho_b: float, id_b: int) -> bool:
+        """Strict total order on (density, id) used to break density ties."""
+        if rho_a != rho_b:
+            return rho_a > rho_b
+        return id_a < id_b
+
+    # ------------------------------------------------------------------ #
+    # internals: activation / deactivation
+    # ------------------------------------------------------------------ #
+    def _activate_cell(self, cell_id: int, now: float) -> None:
+        """Move a cell from the outlier reservoir into the DP-Tree (emergence)."""
+        cell = self.reservoir.pop(cell_id)
+        self._inactive.remove(cell_id)
+        cell.refresh(now, self.decay)
+        cell.dependency = None
+        cell.delta = math.inf
+        self.tree.insert(cell)
+        self._active.add(cell)
+
+        started = _time.perf_counter()
+        self._recompute_dependency(cell, now)
+        self._repoint_lower_cells_to(cell, now)
+        self.dependency_update_seconds += _time.perf_counter() - started
+
+    def _repoint_lower_cells_to(self, new_cell: ClusterCell, now: float) -> None:
+        """Lower-density active cells may now be closer to the newly active cell."""
+        size = len(self._active)
+        if size <= 1:
+            return
+        ids = np.asarray(self._active.ids())
+        densities = self._active.densities_at(now, self.decay)
+        deltas = self._active.deltas()
+        rho_new = new_cell.density
+        dominated = (densities < rho_new) | ((densities == rho_new) & (ids > new_cell.cell_id))
+        dominated &= ids != new_cell.cell_id
+        positions = np.flatnonzero(dominated)
+        if positions.size == 0:
+            return
+        distances = self._active.distances_to_subset(new_cell.seed, positions)
+        self.filter.stats.distance_computations += int(positions.size)
+        for offset, position in enumerate(positions):
+            distance = float(distances[offset])
+            if distance >= deltas[position]:
+                continue
+            candidate_id = int(ids[position])
+            self.tree.set_dependency(candidate_id, new_cell.cell_id, distance)
+            self._active.update_delta(candidate_id, distance)
+            self.filter.stats.dependency_changes += 1
+
+    def _deactivate_cells(self, cell_ids: Sequence[int], now: float) -> None:
+        """Move decayed cells from the DP-Tree to the outlier reservoir."""
+        removal = set(cell_ids)
+        if not removal:
+            return
+        # Cells whose dependency is being removed but which themselves stay
+        # active need a fresh dependency afterwards.
+        orphans = [
+            cell.cell_id
+            for cell in self.tree.cells()
+            if cell.cell_id not in removal
+            and cell.dependency is not None
+            and cell.dependency in removal
+        ]
+        for cell_id in removal:
+            cell = self.tree.remove(cell_id)
+            self._active.remove(cell_id)
+            cell.dependency = None
+            cell.delta = math.inf
+            self.reservoir.add(cell)
+            self._inactive.add(cell)
+        for cell_id in orphans:
+            if cell_id in self.tree:
+                self._recompute_dependency(self.tree.get(cell_id), now)
+
+    # ------------------------------------------------------------------ #
+    # internals: initialisation and periodic work
+    # ------------------------------------------------------------------ #
+    def _initialize(self, now: float) -> None:
+        """Build the initial DP-Tree from the cached cells (Section 4.1)."""
+        threshold = self.active_threshold(now)
+        promotable = [
+            cell.cell_id
+            for cell in self.reservoir.cells()
+            if cell.density_at(now, self.decay) >= threshold
+        ]
+        if len(promotable) < 2:
+            # Not enough dense cells yet: promote every cached cell so that a
+            # primary clustering exists, mirroring the paper's initialisation
+            # over all cached cluster-cells.
+            promotable = [cell.cell_id for cell in self.reservoir.cells()]
+        for cell_id in promotable:
+            cell = self.reservoir.pop(cell_id)
+            self._inactive.remove(cell_id)
+            cell.refresh(now, self.decay)
+            cell.dependency = None
+            cell.delta = math.inf
+            self.tree.insert(cell)
+            self._active.add(cell)
+
+        # Dependencies: process cells from the densest downwards.
+        ordered = sorted(
+            self.tree.cells(),
+            key=lambda c: (-c.density, c.cell_id),
+        )
+        for cell in ordered:
+            self._recompute_dependency(cell, now)
+
+        deltas = self.tree.deltas()
+        if self._tau is None:
+            self._tau = suggest_initial_tau(deltas) if deltas else 1.0
+        if self.config.adaptive_tau and self.tau_optimizer.alpha is None:
+            tau_deltas = self._tau_deltas(now)
+            if tau_deltas:
+                self.tau_optimizer.learn_alpha(self._tau, tau_deltas)
+            else:
+                self.tau_optimizer.alpha = 0.5
+        self._initialized = True
+        self._last_maintenance = now
+        self._last_snapshot = now
+        self._last_tau_opt = now
+        self.tau_history.append((now, self._tau))
+        self.evolution.observe(now, self.partition_snapshot())
+
+    def _periodic_work(self, now: float) -> None:
+        if now - self._last_maintenance >= self.config.maintenance_interval:
+            self._maintenance(now)
+            self._last_maintenance = now
+        if (
+            self.config.adaptive_tau
+            and now - self._last_tau_opt >= self.config.tau_reoptimize_interval
+        ):
+            self._reoptimize_tau(now)
+            self._last_tau_opt = now
+        if now - self._last_snapshot >= self.config.snapshot_interval:
+            self.evolution.observe(now, self.partition_snapshot())
+            self._last_snapshot = now
+
+    def _maintenance(self, now: float) -> None:
+        """Decay sweep: deactivate sparse cells, prune outdated reservoir cells."""
+        threshold = self.active_threshold(now)
+        densities = self._active.densities_at(now, self.decay)
+        ids = self._active.ids()
+        to_deactivate = [
+            ids[i] for i in range(len(ids)) if densities[i] < threshold
+        ]
+        # Never empty the tree completely: keep at least the densest cell so
+        # that the clustering remains defined while the stream is sparse.
+        if to_deactivate and len(to_deactivate) == len(ids):
+            densest = int(np.argmax(densities))
+            to_deactivate = [cid for cid in to_deactivate if cid != ids[densest]]
+        started = _time.perf_counter()
+        self._deactivate_cells(to_deactivate, now)
+        self.dependency_update_seconds += _time.perf_counter() - started
+
+        removed = self.reservoir.prune_outdated(now)
+        for cell in removed:
+            self._inactive.remove(cell.cell_id)
+        self.reservoir_size_history.append((now, len(self.reservoir)))
+
+    def _tau_deltas(self, now: float) -> List[float]:
+        """Dependent distances used by the τ objective.
+
+        DP-Tree roots have δ = inf, which would make "one single cluster"
+        unrepresentable in the objective (the inter set could never be empty
+        of real links).  Following the original DP paper — where the global
+        density peak is assigned the maximum distance as its δ — each root
+        contributes the distance to the farthest active seed instead.
+        """
+        deltas = self.tree.deltas()
+        for cell in self.tree.cells():
+            if cell.dependency is not None and cell.dependency in self.tree:
+                continue
+            distances = self._active.seed_distances(cell.cell_id)
+            if distances.size > 1:
+                deltas.append(float(np.max(distances)))
+        return deltas
+
+    def _reoptimize_tau(self, now: float) -> None:
+        if self.tau_optimizer.alpha is None:
+            return
+        deltas = self._tau_deltas(now)
+        if len(deltas) < 2:
+            return
+        self._tau = self.tau_optimizer.optimize(deltas, time=now, fallback=self._tau)
+        self.tau_history.append((now, self._tau))

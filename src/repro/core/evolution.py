@@ -1,0 +1,331 @@
+"""Cluster-evolution tracking (Table 1, Sections 3.3 and 6.2).
+
+The paper tracks five evolution types — *emerge*, *disappear*, *split*,
+*merge* and *adjust* — by monitoring how the DP-Tree (and therefore the
+MSDSubTree partition) changes over time.  :class:`EvolutionTracker` receives
+the cluster partition at successive observation times (each partition maps a
+cluster identifier to the set of member cluster-cell ids) and classifies the
+transition between consecutive partitions into typed
+:class:`ClusterEvent` records.
+
+Matching between old and new clusters uses member overlap, in the spirit of
+MONIC [Spiliopoulou et al. 2006]: an old cluster *survives into* the new
+cluster that contains the largest share of its members, provided that share
+reaches ``overlap_threshold``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+
+class EvolutionType(enum.Enum):
+    """The five cluster-evolution types of Table 1."""
+
+    EMERGE = "emerge"
+    DISAPPEAR = "disappear"
+    SPLIT = "split"
+    MERGE = "merge"
+    ADJUST = "adjust"
+    SURVIVE = "survive"
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """A single evolution event.
+
+    ``old_clusters`` and ``new_clusters`` hold the cluster identifiers
+    involved on each side of the transition (e.g. a merge lists several old
+    clusters and one new cluster).  ``moved_cells`` lists the cluster-cells
+    whose assignment changed, when meaningful (adjust events).
+    """
+
+    event_type: EvolutionType
+    time: float
+    old_clusters: Tuple[int, ...] = ()
+    new_clusters: Tuple[int, ...] = ()
+    moved_cells: Tuple[int, ...] = ()
+    description: str = ""
+
+    def __str__(self) -> str:
+        olds = ",".join(str(c) for c in self.old_clusters) or "-"
+        news = ",".join(str(c) for c in self.new_clusters) or "-"
+        return f"[t={self.time:.2f}] {self.event_type.value}: {olds} -> {news} {self.description}"
+
+
+Partition = Mapping[int, FrozenSet[int]]
+
+
+@dataclass
+class _Snapshot:
+    time: float
+    partition: Dict[int, FrozenSet[int]]
+
+
+class EvolutionTracker:
+    """Tracks cluster evolution between successive partition snapshots.
+
+    Parameters
+    ----------
+    overlap_threshold:
+        Minimum fraction of an old cluster's members that must land in a new
+        cluster for the new cluster to count as a continuation of the old
+        one.  The complementary direction (share of the new cluster made of
+        the old cluster's members) uses the same threshold for merge
+        detection.
+    record_survivals:
+        When True, SURVIVE events (a cluster continued essentially unchanged)
+        are also recorded; by default only genuine evolution activity is kept
+        so that the log matches Figure 7.
+    """
+
+    def __init__(self, overlap_threshold: float = 0.5, record_survivals: bool = False) -> None:
+        if not 0.0 < overlap_threshold <= 1.0:
+            raise ValueError(
+                f"overlap_threshold must be in (0, 1], got {overlap_threshold}"
+            )
+        self.overlap_threshold = overlap_threshold
+        self.record_survivals = record_survivals
+        self.events: List[ClusterEvent] = []
+        self._previous: Optional[_Snapshot] = None
+        #: Lifespan bookkeeping: cluster id -> (first_seen, last_seen).
+        self.lifespans: Dict[int, Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # observation API
+    # ------------------------------------------------------------------ #
+    def observe(self, time: float, partition: Partition) -> List[ClusterEvent]:
+        """Record a partition snapshot and return the events it triggered."""
+        snapshot = _Snapshot(
+            time=time,
+            partition={cid: frozenset(members) for cid, members in partition.items()},
+        )
+        for cid in snapshot.partition:
+            first, _ = self.lifespans.get(cid, (time, time))
+            self.lifespans[cid] = (first, time)
+
+        if self._previous is None:
+            events = [
+                ClusterEvent(
+                    event_type=EvolutionType.EMERGE,
+                    time=time,
+                    new_clusters=(cid,),
+                    description="initial cluster",
+                )
+                for cid in sorted(snapshot.partition)
+            ]
+            self.events.extend(events)
+            self._previous = snapshot
+            return events
+
+        events = self._diff(self._previous, snapshot)
+        self.events.extend(events)
+        self._previous = snapshot
+        return events
+
+    # ------------------------------------------------------------------ #
+    # diffing logic
+    # ------------------------------------------------------------------ #
+    def _diff(self, old: _Snapshot, new: _Snapshot) -> List[ClusterEvent]:
+        events: List[ClusterEvent] = []
+        time = new.time
+
+        old_partition = old.partition
+        new_partition = new.partition
+
+        # For each old cluster: which new clusters received its members?
+        forward: Dict[int, Dict[int, int]] = {}
+        for old_id, old_members in old_partition.items():
+            counts: Dict[int, int] = {}
+            for new_id, new_members in new_partition.items():
+                shared = len(old_members & new_members)
+                if shared:
+                    counts[new_id] = shared
+            forward[old_id] = counts
+
+        # Reverse map: for each new cluster, which old clusters contributed?
+        backward: Dict[int, Dict[int, int]] = {new_id: {} for new_id in new_partition}
+        for old_id, counts in forward.items():
+            for new_id, shared in counts.items():
+                backward[new_id][old_id] = shared
+
+        matched_new: Set[int] = set()
+        survived_old: Set[int] = set()
+
+        # --- splits and survivals -------------------------------------- #
+        for old_id, old_members in old_partition.items():
+            counts = forward[old_id]
+            if not counts:
+                continue
+            significant = [
+                new_id
+                for new_id, shared in counts.items()
+                if shared / max(1, len(old_members)) >= self.overlap_threshold
+                or shared / max(1, len(new_partition[new_id])) >= self.overlap_threshold
+            ]
+            if len(significant) >= 2:
+                events.append(
+                    ClusterEvent(
+                        event_type=EvolutionType.SPLIT,
+                        time=time,
+                        old_clusters=(old_id,),
+                        new_clusters=tuple(sorted(significant)),
+                        description=f"cluster {old_id} split into {len(significant)} clusters",
+                    )
+                )
+                survived_old.add(old_id)
+                matched_new.update(significant)
+            elif len(significant) == 1:
+                survived_old.add(old_id)
+                matched_new.add(significant[0])
+
+        # --- merges ----------------------------------------------------- #
+        for new_id, new_members in new_partition.items():
+            contributors = [
+                old_id
+                for old_id, shared in backward[new_id].items()
+                if shared / max(1, len(old_partition[old_id])) >= self.overlap_threshold
+            ]
+            if len(contributors) >= 2:
+                events.append(
+                    ClusterEvent(
+                        event_type=EvolutionType.MERGE,
+                        time=time,
+                        old_clusters=tuple(sorted(contributors)),
+                        new_clusters=(new_id,),
+                        description=f"{len(contributors)} clusters merged into {new_id}",
+                    )
+                )
+                matched_new.add(new_id)
+                survived_old.update(contributors)
+
+        # --- disappearances --------------------------------------------- #
+        for old_id in old_partition:
+            if old_id in survived_old:
+                continue
+            if forward[old_id]:
+                # Members ended up somewhere but below the overlap threshold:
+                # treat as an adjustment (points drifting between clusters).
+                moved = tuple(
+                    sorted(
+                        set().union(
+                            *[
+                                old_partition[old_id] & new_partition[new_id]
+                                for new_id in forward[old_id]
+                            ]
+                        )
+                    )
+                )
+                events.append(
+                    ClusterEvent(
+                        event_type=EvolutionType.ADJUST,
+                        time=time,
+                        old_clusters=(old_id,),
+                        new_clusters=tuple(sorted(forward[old_id])),
+                        moved_cells=moved,
+                        description=f"cells of cluster {old_id} redistributed",
+                    )
+                )
+            else:
+                events.append(
+                    ClusterEvent(
+                        event_type=EvolutionType.DISAPPEAR,
+                        time=time,
+                        old_clusters=(old_id,),
+                        description=f"cluster {old_id} disappeared",
+                    )
+                )
+
+        # --- emergences -------------------------------------------------- #
+        for new_id in new_partition:
+            if new_id in matched_new:
+                continue
+            if not backward[new_id]:
+                events.append(
+                    ClusterEvent(
+                        event_type=EvolutionType.EMERGE,
+                        time=time,
+                        new_clusters=(new_id,),
+                        description=f"cluster {new_id} emerged",
+                    )
+                )
+
+        # --- fine-grained adjustments ------------------------------------ #
+        adjust_moves = self._cell_movements(old_partition, new_partition)
+        if adjust_moves:
+            events.append(
+                ClusterEvent(
+                    event_type=EvolutionType.ADJUST,
+                    time=time,
+                    moved_cells=tuple(sorted(adjust_moves)),
+                    description=f"{len(adjust_moves)} cells changed cluster",
+                )
+            )
+
+        if self.record_survivals:
+            for old_id in survived_old:
+                events.append(
+                    ClusterEvent(
+                        event_type=EvolutionType.SURVIVE,
+                        time=time,
+                        old_clusters=(old_id,),
+                        description=f"cluster {old_id} survived",
+                    )
+                )
+        return events
+
+    @staticmethod
+    def _cell_movements(
+        old_partition: Partition, new_partition: Partition
+    ) -> Set[int]:
+        """Cells present in both snapshots whose cluster assignment changed.
+
+        A cell counts as moved when its old cluster's best-matching successor
+        is not the cluster it now belongs to.
+        """
+        old_assignment: Dict[int, int] = {}
+        for cid, members in old_partition.items():
+            for m in members:
+                old_assignment[m] = cid
+        new_assignment: Dict[int, int] = {}
+        for cid, members in new_partition.items():
+            for m in members:
+                new_assignment[m] = cid
+
+        # Map old cluster -> the new cluster holding most of its members.
+        successor: Dict[int, Optional[int]] = {}
+        for old_id, members in old_partition.items():
+            counts: Dict[int, int] = {}
+            for m in members:
+                if m in new_assignment:
+                    counts[new_assignment[m]] = counts.get(new_assignment[m], 0) + 1
+            successor[old_id] = max(counts, key=counts.get) if counts else None
+
+        moved: Set[int] = set()
+        for cell, old_cluster in old_assignment.items():
+            if cell not in new_assignment:
+                continue
+            expected = successor.get(old_cluster)
+            if expected is not None and new_assignment[cell] != expected:
+                moved.add(cell)
+        return moved
+
+    # ------------------------------------------------------------------ #
+    # reporting helpers
+    # ------------------------------------------------------------------ #
+    def events_of_type(self, event_type: EvolutionType) -> List[ClusterEvent]:
+        """All recorded events of a given type, in time order."""
+        return [e for e in self.events if e.event_type == event_type]
+
+    def counts(self) -> Dict[str, int]:
+        """Number of recorded events per type."""
+        result: Dict[str, int] = {t.value: 0 for t in EvolutionType}
+        for event in self.events:
+            result[event.event_type.value] += 1
+        return result
+
+    def timeline(self) -> List[Tuple[float, str, str]]:
+        """A flat (time, type, description) view of the event log, for printing."""
+        return [(e.time, e.event_type.value, e.description) for e in self.events]

@@ -1,0 +1,189 @@
+"""Saving and restoring EDMStream model state.
+
+A long-running stream clusterer needs to survive process restarts without
+replaying the whole stream.  This module serialises everything EDMStream
+needs to continue exactly where it left off — the configuration, the active
+cells with their DP-Tree dependencies, the outlier reservoir, the learned α
+and the current τ — into a plain JSON-compatible dictionary:
+
+* :func:`model_to_dict` / :func:`model_from_dict` — in-memory round trip,
+* :func:`save_model` / :func:`load_model` — JSON file round trip.
+
+Cell seeds are stored as coordinate lists for numeric metrics and as token
+lists for the Jaccard metric; evolution history and performance counters are
+intentionally *not* persisted (they describe the past run, not the state
+needed to continue clustering).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.cell import ClusterCell, ensure_cell_id_floor
+from repro.core.config import EDMStreamConfig
+from repro.core.edmstream import EDMStream
+from repro.distance.text import TokenSetPoint
+
+#: Format version written into every snapshot, checked on load.
+FORMAT_VERSION = 1
+
+__all__ = [
+    "FORMAT_VERSION",
+    "model_to_dict",
+    "model_from_dict",
+    "save_model",
+    "load_model",
+]
+
+
+def _encode_value(value: float) -> Union[float, str]:
+    """JSON-safe encoding of a float (infinity is not valid JSON)."""
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return value
+
+
+def _decode_value(value: Union[float, str]) -> float:
+    return float("inf") if value == "inf" else float(value)
+
+
+def _encode_seed(seed: Any, numeric: bool) -> Any:
+    if numeric:
+        return [float(v) for v in seed]
+    if isinstance(seed, TokenSetPoint):
+        return {"tokens": sorted(seed.tokens), "text": seed.text}
+    if isinstance(seed, (frozenset, set)):
+        return {"tokens": sorted(seed), "text": None}
+    raise TypeError(f"cannot serialise seed of type {type(seed).__name__}")
+
+
+def _decode_seed(data: Any, numeric: bool) -> Any:
+    if numeric:
+        return tuple(float(v) for v in data)
+    return TokenSetPoint(tokens=frozenset(data["tokens"]), text=data.get("text"))
+
+
+def _encode_cell(cell: ClusterCell, numeric: bool) -> Dict[str, Any]:
+    return {
+        "cell_id": cell.cell_id,
+        "seed": _encode_seed(cell.seed, numeric),
+        "density": cell.density,
+        "created_at": cell.created_at,
+        "last_update": cell.last_update,
+        "last_absorb": cell.last_absorb,
+        "dependency": cell.dependency,
+        "delta": _encode_value(cell.delta),
+        "points_absorbed": cell.points_absorbed,
+        "label_votes": {str(k): v for k, v in cell.label_votes.items()},
+    }
+
+
+def _decode_cell(data: Dict[str, Any], numeric: bool) -> ClusterCell:
+    return ClusterCell(
+        seed=_decode_seed(data["seed"], numeric),
+        density=float(data["density"]),
+        created_at=float(data["created_at"]),
+        last_update=float(data["last_update"]),
+        last_absorb=float(data["last_absorb"]),
+        dependency=data["dependency"],
+        delta=_decode_value(data["delta"]),
+        points_absorbed=int(data["points_absorbed"]),
+        cell_id=int(data["cell_id"]),
+        label_votes={int(k): int(v) for k, v in data.get("label_votes", {}).items()},
+    )
+
+
+def model_to_dict(model: EDMStream) -> Dict[str, Any]:
+    """Serialise an EDMStream model into a JSON-compatible dictionary."""
+    numeric = model._numeric
+    active = [_encode_cell(cell, numeric) for cell in model.tree.cells()]
+    inactive = [_encode_cell(cell, numeric) for cell in model.reservoir.cells()]
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": dict(model.config.__dict__),
+        "state": {
+            "tau": model._tau,
+            "alpha": model.tau_optimizer.alpha,
+            "now": model._now,
+            "start_time": model._start_time,
+            "n_points": model._n_points,
+            "initialized": model._initialized,
+            "last_maintenance": model._last_maintenance,
+            "last_snapshot": model._last_snapshot,
+            "last_tau_opt": model._last_tau_opt,
+        },
+        "active_cells": active,
+        "inactive_cells": inactive,
+    }
+
+
+def model_from_dict(data: Dict[str, Any]) -> EDMStream:
+    """Rebuild an EDMStream model from :func:`model_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    config = EDMStreamConfig(**data["config"])
+    model = EDMStream(config)
+    numeric = model._numeric
+
+    # Restore active cells first (without dependencies), then wire the
+    # dependency links once every node exists.
+    dependencies: List[Dict[str, Any]] = []
+    max_id = 0
+    for cell_data in data["active_cells"]:
+        cell = _decode_cell(cell_data, numeric)
+        max_id = max(max_id, cell.cell_id)
+        dependencies.append(
+            {"cell_id": cell.cell_id, "dependency": cell.dependency, "delta": cell.delta}
+        )
+        cell.dependency = None
+        cell.delta = float("inf")
+        model.tree.insert(cell)
+        model._active.add(cell)
+    for link in dependencies:
+        if link["dependency"] is not None and link["dependency"] in model.tree:
+            model.tree.set_dependency(link["cell_id"], link["dependency"], link["delta"])
+            model._active.update_delta(link["cell_id"], link["delta"])
+
+    for cell_data in data["inactive_cells"]:
+        cell = _decode_cell(cell_data, numeric)
+        max_id = max(max_id, cell.cell_id)
+        model.reservoir.add(cell)
+        model._inactive.add(cell)
+
+    state = data["state"]
+    model._tau = state["tau"]
+    model.tau_optimizer.alpha = state["alpha"]
+    model._now = float(state["now"])
+    model._start_time = state["start_time"]
+    model._n_points = int(state["n_points"])
+    model._initialized = bool(state["initialized"])
+    model._last_maintenance = float(state["last_maintenance"])
+    model._last_snapshot = float(state["last_snapshot"])
+    model._last_tau_opt = float(state["last_tau_opt"])
+    if model._tau is not None:
+        model.tau_history.append((model._now, model._tau))
+
+    ensure_cell_id_floor(max_id)
+    return model
+
+
+def save_model(model: EDMStream, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a model snapshot to a JSON file and return its path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(model_to_dict(model), handle)
+    return target
+
+
+def load_model(path: Union[str, pathlib.Path]) -> EDMStream:
+    """Load a model snapshot written by :func:`save_model`."""
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return model_from_dict(data)

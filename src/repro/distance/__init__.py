@@ -1,0 +1,40 @@
+"""Distance functions used throughout the library.
+
+The paper uses Euclidean distance for numeric streams (Section 2.1,
+footnote 2) and Jaccard distance for the NADS news stream (Section 6.2.2).
+This package provides those plus a few additional metrics that are useful
+for experimentation, all behind a single :func:`get_metric` factory so that
+every clusterer in the library can be parameterised by a metric name.
+"""
+
+from repro.distance.metrics import (
+    DistanceMetric,
+    chebyshev,
+    cosine,
+    euclidean,
+    get_metric,
+    manhattan,
+    minkowski,
+    squared_euclidean,
+)
+from repro.distance.text import (
+    jaccard_distance,
+    jaccard_similarity,
+    tokenize,
+    TokenSetPoint,
+)
+
+__all__ = [
+    "DistanceMetric",
+    "euclidean",
+    "squared_euclidean",
+    "manhattan",
+    "chebyshev",
+    "cosine",
+    "minkowski",
+    "get_metric",
+    "jaccard_distance",
+    "jaccard_similarity",
+    "tokenize",
+    "TokenSetPoint",
+]

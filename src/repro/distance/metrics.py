@@ -1,0 +1,135 @@
+"""Numeric distance metrics.
+
+All metrics accept either plain Python sequences or ``numpy`` arrays and
+return a Python ``float``.  The hot path in EDMStream is the nearest-seed
+lookup, which operates on small vectors in a tight loop; we therefore keep
+scalar implementations simple and allocation-free rather than vectorising
+individual pairwise calls.  Bulk (one-to-many) variants are provided for the
+index structures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+Vector = Union[Sequence[float], np.ndarray]
+
+#: Signature shared by every pairwise metric in this module.
+DistanceMetric = Callable[[Vector, Vector], float]
+
+
+def squared_euclidean(a: Vector, b: Vector) -> float:
+    """Squared Euclidean distance between two vectors.
+
+    Cheaper than :func:`euclidean` because it avoids the square root; use it
+    when only the ordering of distances matters.
+    """
+    total = 0.0
+    for x, y in zip(a, b):
+        diff = x - y
+        total += diff * diff
+    return total
+
+
+def euclidean(a: Vector, b: Vector) -> float:
+    """Euclidean (L2) distance between two vectors."""
+    return math.sqrt(squared_euclidean(a, b))
+
+
+def manhattan(a: Vector, b: Vector) -> float:
+    """Manhattan (L1) distance between two vectors."""
+    total = 0.0
+    for x, y in zip(a, b):
+        total += abs(x - y)
+    return total
+
+
+def chebyshev(a: Vector, b: Vector) -> float:
+    """Chebyshev (L-infinity) distance between two vectors."""
+    best = 0.0
+    for x, y in zip(a, b):
+        diff = abs(x - y)
+        if diff > best:
+            best = diff
+    return best
+
+
+def minkowski(a: Vector, b: Vector, p: float = 3.0) -> float:
+    """Minkowski distance of order ``p`` between two vectors."""
+    if p <= 0:
+        raise ValueError(f"Minkowski order must be positive, got {p}")
+    total = 0.0
+    for x, y in zip(a, b):
+        total += abs(x - y) ** p
+    return total ** (1.0 / p)
+
+
+def cosine(a: Vector, b: Vector) -> float:
+    """Cosine distance (1 - cosine similarity) between two vectors.
+
+    The distance between two zero vectors is defined as 0; between a zero
+    vector and a non-zero vector it is defined as 1.
+    """
+    dot = 0.0
+    norm_a = 0.0
+    norm_b = 0.0
+    for x, y in zip(a, b):
+        dot += x * y
+        norm_a += x * x
+        norm_b += y * y
+    if norm_a == 0.0 and norm_b == 0.0:
+        return 0.0
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 1.0
+    similarity = dot / math.sqrt(norm_a * norm_b)
+    # Guard against floating point drift outside [-1, 1].
+    similarity = max(-1.0, min(1.0, similarity))
+    return 1.0 - similarity
+
+
+def euclidean_to_many(point: Vector, matrix: np.ndarray) -> np.ndarray:
+    """Euclidean distances from ``point`` to every row of ``matrix``."""
+    point_arr = np.asarray(point, dtype=float)
+    diffs = matrix - point_arr
+    return np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+
+
+_METRICS: dict[str, DistanceMetric] = {
+    "euclidean": euclidean,
+    "l2": euclidean,
+    "squared_euclidean": squared_euclidean,
+    "manhattan": manhattan,
+    "l1": manhattan,
+    "chebyshev": chebyshev,
+    "linf": chebyshev,
+    "cosine": cosine,
+}
+
+
+def get_metric(name: str) -> DistanceMetric:
+    """Look up a distance metric by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``euclidean``, ``l2``, ``squared_euclidean``, ``manhattan``,
+        ``l1``, ``chebyshev``, ``linf``, ``cosine`` or ``jaccard``.
+
+    Raises
+    ------
+    KeyError
+        If the name is unknown.
+    """
+    key = name.strip().lower()
+    if key == "jaccard":
+        # Imported lazily to avoid a circular import with repro.distance.text.
+        from repro.distance.text import jaccard_distance
+
+        return jaccard_distance
+    if key not in _METRICS:
+        known = ", ".join(sorted(set(_METRICS) | {"jaccard"}))
+        raise KeyError(f"Unknown distance metric {name!r}; known metrics: {known}")
+    return _METRICS[key]

@@ -1,0 +1,86 @@
+"""Text distance support for the news-stream use case.
+
+Section 6.2.2 of the paper clusters the NADS news stream using the Jaccard
+distance over short texts.  A news item is represented here as a set of
+tokens; :class:`TokenSetPoint` wraps such a set so that it can flow through
+the same clusterer code paths as numeric points.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Set, Union
+
+TokenSet = Union[Set[str], FrozenSet[str], "TokenSetPoint"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+#: Small English stop-word list; enough to keep headline token sets topical.
+STOP_WORDS = frozenset(
+    {
+        "a", "an", "the", "and", "or", "of", "to", "in", "on", "for", "with",
+        "at", "by", "from", "as", "is", "are", "was", "were", "be", "been",
+        "it", "its", "this", "that", "their", "his", "her", "will", "would",
+        "has", "have", "had", "not", "but", "they", "we", "you", "your",
+    }
+)
+
+
+def tokenize(text: str, remove_stop_words: bool = True) -> frozenset[str]:
+    """Tokenise a short text into a frozen set of lower-case tokens."""
+    tokens = set(_TOKEN_PATTERN.findall(text.lower()))
+    if remove_stop_words:
+        tokens -= STOP_WORDS
+    return frozenset(tokens)
+
+
+def _as_token_set(value: TokenSet) -> frozenset[str]:
+    if isinstance(value, TokenSetPoint):
+        return value.tokens
+    return frozenset(value)
+
+
+def jaccard_similarity(a: TokenSet, b: TokenSet) -> float:
+    """Jaccard similarity |A ∩ B| / |A ∪ B| between two token sets.
+
+    Two empty sets are defined to have similarity 1.
+    """
+    set_a = _as_token_set(a)
+    set_b = _as_token_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union
+
+
+def jaccard_distance(a: TokenSet, b: TokenSet) -> float:
+    """Jaccard distance 1 - similarity; in [0, 1]."""
+    return 1.0 - jaccard_similarity(a, b)
+
+
+@dataclass(frozen=True)
+class TokenSetPoint:
+    """A text document represented as a token set.
+
+    ``TokenSetPoint`` instances can be handed to any clusterer configured
+    with the ``jaccard`` metric.  Iteration is supported so generic code that
+    treats points as iterables of features does not crash, although the
+    tokens themselves are not meaningful as numeric coordinates.
+    """
+
+    tokens: frozenset[str]
+    text: str = field(default="", compare=False)
+
+    @classmethod
+    def from_text(cls, text: str) -> "TokenSetPoint":
+        """Build a token-set point from raw text."""
+        return cls(tokens=tokenize(text), text=text)
+
+    def __iter__(self):
+        return iter(sorted(self.tokens))
+
+    def __len__(self) -> int:
+        return len(self.tokens)

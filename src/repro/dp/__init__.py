@@ -1,0 +1,20 @@
+"""Batch Density Peaks clustering (Rodriguez & Laio, Science 2014).
+
+This is the algorithm EDMStream turns into a streaming method (Section 2 of
+the paper).  The batch implementation is used
+
+* as a reference implementation that the DP-Tree based clustering must agree
+  with on static data (tested in ``tests/test_dp_consistency.py``),
+* for the decision-graph initialisation step (Section 5), and
+* as a standalone clusterer for the examples.
+"""
+
+from repro.dp.decision_graph import DecisionGraph, decision_graph_from_result
+from repro.dp.density_peaks import DensityPeaks, DensityPeaksResult
+
+__all__ = [
+    "DensityPeaks",
+    "DensityPeaksResult",
+    "DecisionGraph",
+    "decision_graph_from_result",
+]

@@ -1,0 +1,222 @@
+"""Batch Density Peaks (DP) clustering — Rodriguez & Laio, Science 2014.
+
+For every point the algorithm computes
+
+* its local density ρ — the number of points within the cut-off distance
+  ``dc`` (Equation 1), optionally with a Gaussian kernel, and
+* its dependent distance δ — the distance to the nearest point of higher
+  density (Equation 2).
+
+Cluster centres are points with anomalously large ρ *and* δ; every other
+point is assigned to the same cluster as its nearest higher-density
+neighbour (its *dependency*), following the dependency chain up to a peak.
+Points with ρ ≤ ξ are outliers.
+
+This implementation also exposes the dependency links so the equivalence
+with the DP-Tree view (Definition 2: clusters are MSDSubTrees) can be tested
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class DensityPeaksResult:
+    """Output of a batch DP clustering run.
+
+    Attributes
+    ----------
+    labels:
+        Cluster label per point (``-1`` for outliers).  Labels are the
+        indices of the peak points.
+    rho:
+        Local density per point.
+    delta:
+        Dependent distance per point (the global density maximum gets the
+        maximum pairwise distance, as in the original paper).
+    dependency:
+        Index of the nearest higher-density point per point (``-1`` for the
+        global density maximum).
+    peaks:
+        Indices of the selected cluster centres.
+    """
+
+    labels: np.ndarray
+    rho: np.ndarray
+    delta: np.ndarray
+    dependency: np.ndarray
+    peaks: List[int] = field(default_factory=list)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters found."""
+        return len(self.peaks)
+
+    def members(self, peak: int) -> np.ndarray:
+        """Indices of the points assigned to the cluster centred at ``peak``."""
+        return np.flatnonzero(self.labels == peak)
+
+
+class DensityPeaks:
+    """Batch Density Peaks clustering.
+
+    Parameters
+    ----------
+    dc:
+        Cut-off distance.  ``None`` selects it as the ``dc_percentile``
+        quantile of the pairwise distances, the heuristic recommended by the
+        original paper (between 0.5% and 2%).
+    dc_percentile:
+        Percentile (in percent) used when ``dc`` is None.
+    kernel:
+        ``"cutoff"`` counts neighbours within ``dc`` (Equation 1);
+        ``"gaussian"`` uses the smooth kernel ``exp(-(d/dc)^2)`` which the
+        original paper recommends for small datasets.
+    xi:
+        Density threshold below which points are outliers (ρ ≤ ξ).
+    tau:
+        Dependent-distance threshold: points with δ > τ and ρ > ξ are peaks.
+        ``None`` defers peak selection to ``n_clusters``.
+    n_clusters:
+        When ``tau`` is None, select this many peaks by decreasing γ = ρ·δ.
+    """
+
+    def __init__(
+        self,
+        dc: Optional[float] = None,
+        dc_percentile: float = 2.0,
+        kernel: str = "cutoff",
+        xi: float = 0.0,
+        tau: Optional[float] = None,
+        n_clusters: Optional[int] = None,
+    ) -> None:
+        if dc is not None and dc <= 0:
+            raise ValueError(f"dc must be positive, got {dc}")
+        if not 0.0 < dc_percentile <= 100.0:
+            raise ValueError(f"dc_percentile must be in (0, 100], got {dc_percentile}")
+        if kernel not in ("cutoff", "gaussian"):
+            raise ValueError(f"kernel must be 'cutoff' or 'gaussian', got {kernel!r}")
+        if tau is None and n_clusters is None:
+            n_clusters = 2
+        if n_clusters is not None and n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.dc = dc
+        self.dc_percentile = dc_percentile
+        self.kernel = kernel
+        self.xi = xi
+        self.tau = tau
+        self.n_clusters = n_clusters
+
+    # ------------------------------------------------------------------ #
+    def _pairwise_distances(self, data: np.ndarray) -> np.ndarray:
+        squared = np.sum(data ** 2, axis=1)
+        gram = data @ data.T
+        dist_sq = squared[:, None] + squared[None, :] - 2.0 * gram
+        np.maximum(dist_sq, 0.0, out=dist_sq)
+        return np.sqrt(dist_sq)
+
+    def _select_dc(self, distances: np.ndarray) -> float:
+        if self.dc is not None:
+            return self.dc
+        n = distances.shape[0]
+        upper = distances[np.triu_indices(n, k=1)]
+        if upper.size == 0:
+            return 1.0
+        value = float(np.percentile(upper, self.dc_percentile))
+        if value <= 0:
+            positive = upper[upper > 0]
+            value = float(positive.min()) if positive.size else 1.0
+        return value
+
+    def _local_density(self, distances: np.ndarray, dc: float) -> np.ndarray:
+        if self.kernel == "cutoff":
+            rho = np.sum(distances < dc, axis=1).astype(float) - 1.0  # exclude self
+        else:
+            ratios = distances / dc
+            rho = np.sum(np.exp(-(ratios ** 2)), axis=1) - 1.0
+        return rho
+
+    @staticmethod
+    def _dependent_distances(
+        distances: np.ndarray, rho: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(rho)
+        order = np.argsort(-rho, kind="stable")
+        delta = np.full(n, np.inf)
+        dependency = np.full(n, -1, dtype=int)
+        max_distance = float(distances.max()) if n > 1 else 1.0
+        for rank, index in enumerate(order):
+            if rank == 0:
+                delta[index] = max_distance
+                dependency[index] = -1
+                continue
+            higher = order[:rank]
+            dists = distances[index, higher]
+            best = int(np.argmin(dists))
+            delta[index] = float(dists[best])
+            dependency[index] = int(higher[best])
+        return delta, dependency
+
+    def _select_peaks(self, rho: np.ndarray, delta: np.ndarray) -> List[int]:
+        eligible = np.flatnonzero(rho > self.xi)
+        if eligible.size == 0:
+            return []
+        if self.tau is not None:
+            peaks = [int(i) for i in eligible if delta[i] > self.tau]
+            if peaks:
+                return sorted(peaks)
+            # Fall back to the single global maximum so that at least one
+            # cluster exists.
+            return [int(eligible[np.argmax(rho[eligible])])]
+        gamma = rho * delta
+        ranked = sorted((int(i) for i in eligible), key=lambda i: -gamma[i])
+        return sorted(ranked[: self.n_clusters])
+
+    # ------------------------------------------------------------------ #
+    def fit(self, data: Sequence[Sequence[float]]) -> DensityPeaksResult:
+        """Cluster a static dataset and return the full DP result."""
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D array of points, got shape {matrix.shape}")
+        n = matrix.shape[0]
+        if n == 0:
+            empty = np.empty(0)
+            return DensityPeaksResult(
+                labels=np.empty(0, dtype=int),
+                rho=empty,
+                delta=empty,
+                dependency=np.empty(0, dtype=int),
+                peaks=[],
+            )
+        distances = self._pairwise_distances(matrix)
+        dc = self._select_dc(distances)
+        rho = self._local_density(distances, dc)
+        delta, dependency = self._dependent_distances(distances, rho)
+        peaks = self._select_peaks(rho, delta)
+
+        labels = np.full(n, -1, dtype=int)
+        for peak in peaks:
+            labels[peak] = peak
+        # Assign remaining points in decreasing density order so that each
+        # point's dependency has already been labelled.
+        order = np.argsort(-rho, kind="stable")
+        for index in order:
+            if labels[index] != -1:
+                continue
+            if rho[index] <= self.xi:
+                continue
+            parent = dependency[index]
+            if parent >= 0:
+                labels[index] = labels[parent]
+        return DensityPeaksResult(
+            labels=labels, rho=rho, delta=delta, dependency=dependency, peaks=peaks
+        )
+
+    def fit_predict(self, data: Sequence[Sequence[float]]) -> np.ndarray:
+        """Cluster a static dataset and return only the labels."""
+        return self.fit(data).labels

@@ -1,0 +1,48 @@
+"""Cluster-quality evaluation.
+
+* :mod:`repro.evaluation.cmm` — the Cluster Mapping Measure (CMM) of Kremer
+  et al. (KDD 2011), the external criterion used throughout Section 6.4: it
+  weights objects by their freshness and penalises missed objects, misplaced
+  objects and noise inclusion.
+* :mod:`repro.evaluation.external` — classical external metrics (purity,
+  F-measure, Rand index, adjusted Rand index, normalised mutual information)
+  used as supporting measurements and in tests.
+* :mod:`repro.evaluation.internal` — ground-truth-free metrics (silhouette,
+  Davies–Bouldin, Dunn, SSQ, within/between ratio) used for unlabelled
+  streams and the adaptive-τ ablation.
+"""
+
+from repro.evaluation.cmm import CMM, CMMResult
+from repro.evaluation.external import (
+    adjusted_rand_index,
+    contingency_table,
+    f_measure,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+)
+from repro.evaluation.internal import (
+    cluster_centroids,
+    davies_bouldin_index,
+    dunn_index,
+    silhouette_score,
+    sum_of_squared_errors,
+    within_between_ratio,
+)
+
+__all__ = [
+    "CMM",
+    "CMMResult",
+    "purity",
+    "f_measure",
+    "rand_index",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "contingency_table",
+    "silhouette_score",
+    "davies_bouldin_index",
+    "dunn_index",
+    "sum_of_squared_errors",
+    "within_between_ratio",
+    "cluster_centroids",
+]

@@ -1,0 +1,172 @@
+"""Classical external clustering-quality metrics.
+
+All functions take two parallel label sequences — ground-truth labels and
+predicted cluster labels — and ignore nothing by default: callers that want
+to exclude outliers (label -1) should filter beforehand, except for
+``purity`` and ``f_measure`` which accept an ``ignore_noise`` flag because
+that is how they are conventionally reported for density-based clusterings.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+
+def _check_lengths(true_labels: Sequence, predicted_labels: Sequence) -> None:
+    if len(true_labels) != len(predicted_labels):
+        raise ValueError(
+            f"label sequences differ in length: {len(true_labels)} vs {len(predicted_labels)}"
+        )
+
+
+def contingency_table(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> Dict[Hashable, Counter]:
+    """Contingency table: predicted cluster -> Counter of true labels."""
+    _check_lengths(true_labels, predicted_labels)
+    table: Dict[Hashable, Counter] = defaultdict(Counter)
+    for truth, predicted in zip(true_labels, predicted_labels):
+        table[predicted][truth] += 1
+    return dict(table)
+
+
+def purity(
+    true_labels: Sequence[Hashable],
+    predicted_labels: Sequence[Hashable],
+    ignore_noise: bool = False,
+    noise_label: Hashable = -1,
+) -> float:
+    """Fraction of points whose cluster's majority class matches their class."""
+    _check_lengths(true_labels, predicted_labels)
+    pairs = list(zip(true_labels, predicted_labels))
+    if ignore_noise:
+        pairs = [(t, p) for t, p in pairs if p != noise_label]
+    if not pairs:
+        return 0.0
+    table: Dict[Hashable, Counter] = defaultdict(Counter)
+    for truth, predicted in pairs:
+        table[predicted][truth] += 1
+    correct = sum(counter.most_common(1)[0][1] for counter in table.values())
+    return correct / len(pairs)
+
+
+def f_measure(
+    true_labels: Sequence[Hashable],
+    predicted_labels: Sequence[Hashable],
+    beta: float = 1.0,
+    ignore_noise: bool = False,
+    noise_label: Hashable = -1,
+) -> float:
+    """Pairwise F-measure: harmonic mean of pairwise precision and recall."""
+    _check_lengths(true_labels, predicted_labels)
+    pairs = list(zip(true_labels, predicted_labels))
+    if ignore_noise:
+        pairs = [(t, p) for t, p in pairs if p != noise_label]
+    n = len(pairs)
+    if n < 2:
+        return 0.0
+
+    def _pair_count(counts: Counter) -> int:
+        return sum(c * (c - 1) // 2 for c in counts.values())
+
+    true_counts = Counter(t for t, _ in pairs)
+    predicted_counts = Counter(p for _, p in pairs)
+    joint_counts = Counter(pairs)
+
+    same_both = _pair_count(joint_counts)
+    same_true = _pair_count(true_counts)
+    same_predicted = _pair_count(predicted_counts)
+
+    precision = same_both / same_predicted if same_predicted else 0.0
+    recall = same_both / same_true if same_true else 0.0
+    if precision == 0.0 and recall == 0.0:
+        return 0.0
+    beta_sq = beta * beta
+    return (1 + beta_sq) * precision * recall / (beta_sq * precision + recall)
+
+
+def rand_index(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> float:
+    """Rand index: fraction of point pairs on which the two labelings agree."""
+    _check_lengths(true_labels, predicted_labels)
+    n = len(true_labels)
+    if n < 2:
+        return 1.0
+
+    def _pair_count(counts: Counter) -> int:
+        return sum(c * (c - 1) // 2 for c in counts.values())
+
+    total_pairs = n * (n - 1) // 2
+    joint = Counter(zip(true_labels, predicted_labels))
+    true_counts = Counter(true_labels)
+    predicted_counts = Counter(predicted_labels)
+
+    same_both = _pair_count(joint)
+    same_true = _pair_count(true_counts)
+    same_predicted = _pair_count(predicted_counts)
+    agreements = total_pairs + 2 * same_both - same_true - same_predicted
+    return agreements / total_pairs
+
+
+def adjusted_rand_index(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> float:
+    """Adjusted Rand index (chance-corrected)."""
+    _check_lengths(true_labels, predicted_labels)
+    n = len(true_labels)
+    if n < 2:
+        return 1.0
+
+    def _comb2(value: int) -> float:
+        return value * (value - 1) / 2.0
+
+    joint = Counter(zip(true_labels, predicted_labels))
+    true_counts = Counter(true_labels)
+    predicted_counts = Counter(predicted_labels)
+
+    sum_joint = sum(_comb2(c) for c in joint.values())
+    sum_true = sum(_comb2(c) for c in true_counts.values())
+    sum_predicted = sum(_comb2(c) for c in predicted_counts.values())
+    total = _comb2(n)
+
+    expected = sum_true * sum_predicted / total if total else 0.0
+    maximum = (sum_true + sum_predicted) / 2.0
+    denominator = maximum - expected
+    if denominator == 0:
+        return 1.0
+    return (sum_joint - expected) / denominator
+
+
+def normalized_mutual_information(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> float:
+    """NMI with arithmetic-mean normalisation; in [0, 1]."""
+    _check_lengths(true_labels, predicted_labels)
+    n = len(true_labels)
+    if n == 0:
+        return 0.0
+    joint = Counter(zip(true_labels, predicted_labels))
+    true_counts = Counter(true_labels)
+    predicted_counts = Counter(predicted_labels)
+
+    mutual_information = 0.0
+    for (truth, predicted), count in joint.items():
+        p_joint = count / n
+        p_true = true_counts[truth] / n
+        p_predicted = predicted_counts[predicted] / n
+        mutual_information += p_joint * math.log(p_joint / (p_true * p_predicted))
+
+    def _entropy(counts: Counter) -> float:
+        return -sum((c / n) * math.log(c / n) for c in counts.values() if c > 0)
+
+    h_true = _entropy(true_counts)
+    h_predicted = _entropy(predicted_counts)
+    if h_true == 0.0 and h_predicted == 0.0:
+        return 1.0
+    denominator = (h_true + h_predicted) / 2.0
+    if denominator == 0.0:
+        return 0.0
+    return max(0.0, mutual_information / denominator)

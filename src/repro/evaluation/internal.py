@@ -1,0 +1,239 @@
+"""Internal (ground-truth-free) cluster quality metrics.
+
+The paper evaluates quality with the external CMM criterion, which needs
+ground-truth labels.  For streams without labels — and for the ablation
+experiments on the adaptive τ objective — internal criteria that judge a
+clustering purely from the geometry of the points are useful:
+
+* :func:`silhouette_score` — mean silhouette coefficient,
+* :func:`davies_bouldin_index` — average worst-case cluster similarity
+  (lower is better),
+* :func:`dunn_index` — minimum inter-cluster separation over maximum
+  intra-cluster diameter (higher is better),
+* :func:`sum_of_squared_errors` — total squared distance to cluster
+  centroids (the k-means objective),
+* :func:`within_between_ratio` — mean intra-cluster distance over mean
+  inter-cluster distance, the geometric analogue of the paper's τ objective
+  (Equation 15).
+
+All functions take a point matrix and an integer label per point; points
+labelled ``noise_label`` (default ``-1``) are excluded, mirroring how the
+paper excludes outliers/halos from the objective function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "silhouette_score",
+    "davies_bouldin_index",
+    "dunn_index",
+    "sum_of_squared_errors",
+    "within_between_ratio",
+    "cluster_centroids",
+]
+
+
+def _validated(
+    points: Sequence[Sequence[float]],
+    labels: Sequence[int],
+    noise_label: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop noise points and return aligned (points, labels) arrays."""
+    matrix = np.asarray(points, dtype=float)
+    label_arr = np.asarray(labels, dtype=int)
+    if matrix.ndim != 2:
+        raise ValueError("points must be a 2-D array-like")
+    if matrix.shape[0] != label_arr.shape[0]:
+        raise ValueError(
+            f"points ({matrix.shape[0]}) and labels ({label_arr.shape[0]}) lengths differ"
+        )
+    keep = label_arr != noise_label
+    return matrix[keep], label_arr[keep]
+
+
+def cluster_centroids(
+    points: Sequence[Sequence[float]],
+    labels: Sequence[int],
+    noise_label: int = -1,
+) -> Dict[int, np.ndarray]:
+    """Centroid of every non-noise cluster."""
+    matrix, label_arr = _validated(points, labels, noise_label)
+    centroids: Dict[int, np.ndarray] = {}
+    for label in np.unique(label_arr):
+        centroids[int(label)] = matrix[label_arr == label].mean(axis=0)
+    return centroids
+
+
+def sum_of_squared_errors(
+    points: Sequence[Sequence[float]],
+    labels: Sequence[int],
+    noise_label: int = -1,
+) -> float:
+    """Total squared distance of every point to its cluster centroid (SSQ)."""
+    matrix, label_arr = _validated(points, labels, noise_label)
+    if matrix.shape[0] == 0:
+        return 0.0
+    total = 0.0
+    for label in np.unique(label_arr):
+        members = matrix[label_arr == label]
+        centroid = members.mean(axis=0)
+        total += float(((members - centroid) ** 2).sum())
+    return total
+
+
+def silhouette_score(
+    points: Sequence[Sequence[float]],
+    labels: Sequence[int],
+    noise_label: int = -1,
+) -> float:
+    """Mean silhouette coefficient over the non-noise points.
+
+    The silhouette of a point is ``(b - a) / max(a, b)`` where ``a`` is its
+    mean distance to its own cluster and ``b`` its mean distance to the
+    nearest other cluster.  Returns 0 for degenerate inputs (fewer than two
+    clusters, or every cluster a singleton), matching the common convention.
+    """
+    matrix, label_arr = _validated(points, labels, noise_label)
+    n = matrix.shape[0]
+    unique = np.unique(label_arr)
+    if n < 2 or unique.size < 2:
+        return 0.0
+
+    squared = np.sum(matrix ** 2, axis=1)
+    distances = np.sqrt(
+        np.maximum(squared[:, None] + squared[None, :] - 2.0 * matrix @ matrix.T, 0.0)
+    )
+
+    masks = {int(label): label_arr == label for label in unique}
+    silhouettes = np.zeros(n, dtype=float)
+    for i in range(n):
+        own = masks[int(label_arr[i])]
+        own_size = int(own.sum())
+        if own_size <= 1:
+            silhouettes[i] = 0.0
+            continue
+        a = distances[i, own].sum() / (own_size - 1)
+        b = np.inf
+        for label, mask in masks.items():
+            if label == int(label_arr[i]):
+                continue
+            b = min(b, distances[i, mask].mean())
+        denominator = max(a, b)
+        silhouettes[i] = 0.0 if denominator == 0 else (b - a) / denominator
+    return float(silhouettes.mean())
+
+
+def davies_bouldin_index(
+    points: Sequence[Sequence[float]],
+    labels: Sequence[int],
+    noise_label: int = -1,
+) -> float:
+    """Davies–Bouldin index (average worst-case cluster similarity; lower is better).
+
+    Returns 0 for degenerate inputs with fewer than two clusters.
+    """
+    matrix, label_arr = _validated(points, labels, noise_label)
+    unique = np.unique(label_arr)
+    if unique.size < 2:
+        return 0.0
+
+    centroids = []
+    scatters = []
+    for label in unique:
+        members = matrix[label_arr == label]
+        centroid = members.mean(axis=0)
+        centroids.append(centroid)
+        scatters.append(float(np.linalg.norm(members - centroid, axis=1).mean()))
+    centroid_matrix = np.asarray(centroids)
+
+    k = unique.size
+    worst = np.zeros(k, dtype=float)
+    for i in range(k):
+        for j in range(k):
+            if i == j:
+                continue
+            separation = float(np.linalg.norm(centroid_matrix[i] - centroid_matrix[j]))
+            if separation == 0:
+                ratio = np.inf
+            else:
+                ratio = (scatters[i] + scatters[j]) / separation
+            worst[i] = max(worst[i], ratio)
+    return float(worst.mean())
+
+
+def dunn_index(
+    points: Sequence[Sequence[float]],
+    labels: Sequence[int],
+    noise_label: int = -1,
+) -> float:
+    """Dunn index: min inter-cluster distance / max intra-cluster diameter.
+
+    Higher is better.  Returns 0 for degenerate inputs (fewer than two
+    clusters); returns ``inf`` when every cluster is a single point but the
+    clusters are separated.
+    """
+    matrix, label_arr = _validated(points, labels, noise_label)
+    unique = np.unique(label_arr)
+    if unique.size < 2:
+        return 0.0
+
+    squared = np.sum(matrix ** 2, axis=1)
+    distances = np.sqrt(
+        np.maximum(squared[:, None] + squared[None, :] - 2.0 * matrix @ matrix.T, 0.0)
+    )
+    masks = {int(label): label_arr == label for label in unique}
+
+    max_diameter = 0.0
+    for mask in masks.values():
+        members = np.flatnonzero(mask)
+        if members.size >= 2:
+            max_diameter = max(max_diameter, float(distances[np.ix_(members, members)].max()))
+
+    min_separation = np.inf
+    labels_list = list(masks)
+    for i in range(len(labels_list)):
+        for j in range(i + 1, len(labels_list)):
+            a = np.flatnonzero(masks[labels_list[i]])
+            b = np.flatnonzero(masks[labels_list[j]])
+            min_separation = min(min_separation, float(distances[np.ix_(a, b)].min()))
+
+    if max_diameter == 0.0:
+        return float("inf") if min_separation > 0 else 0.0
+    return float(min_separation / max_diameter)
+
+
+def within_between_ratio(
+    points: Sequence[Sequence[float]],
+    labels: Sequence[int],
+    noise_label: int = -1,
+) -> float:
+    """Mean intra-cluster distance divided by mean inter-cluster distance.
+
+    Lower is better; this is the geometric counterpart of the τ objective of
+    Equation 15 (minimise intra-dependent distances, maximise inter-dependent
+    distances).  Returns 0 for degenerate inputs.
+    """
+    matrix, label_arr = _validated(points, labels, noise_label)
+    unique = np.unique(label_arr)
+    if matrix.shape[0] < 2 or unique.size < 2:
+        return 0.0
+
+    squared = np.sum(matrix ** 2, axis=1)
+    distances = np.sqrt(
+        np.maximum(squared[:, None] + squared[None, :] - 2.0 * matrix @ matrix.T, 0.0)
+    )
+    same = label_arr[:, None] == label_arr[None, :]
+    upper = np.triu(np.ones_like(same, dtype=bool), k=1)
+
+    intra = distances[same & upper]
+    inter = distances[~same & upper]
+    if intra.size == 0 or inter.size == 0:
+        return 0.0
+    mean_inter = float(inter.mean())
+    if mean_inter == 0:
+        return float("inf")
+    return float(intra.mean()) / mean_inter

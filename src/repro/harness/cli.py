@@ -1,0 +1,161 @@
+"""Command-line interface for running the reproduction experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig9 --points 6000
+    python -m repro run fig15 --output results/fig15.txt
+
+Every experiment id corresponds to one table or figure of the paper (see
+DESIGN.md); ``run`` executes the driver and prints (or writes) the rendered
+tables and series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.harness import ablations, experiments, scenarios
+from repro.harness.results import ExperimentResult
+
+#: Experiment id -> (description, driver factory taking an optional point budget).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table2": (
+        "Table 2 — dataset inventory",
+        lambda points: experiments.experiment_table2(surrogate_points=points or 2000),
+    ),
+    "fig7": (
+        "Figures 6-7 — SDS cluster evolution",
+        lambda points: scenarios.experiment_evolution_sds(n_points=points or 20000),
+    ),
+    "fig8": (
+        "Figure 8 / Table 3 — news-stream topic evolution",
+        lambda points: scenarios.experiment_news_evolution(n_points=points or 8000),
+    ),
+    "fig9": (
+        "Figure 9 — response time vs stream length",
+        lambda points: experiments.experiment_response_time(n_points=points or 10000),
+    ),
+    "fig10": (
+        "Figure 10 — throughput",
+        lambda points: experiments.experiment_throughput(n_points=points or 10000),
+    ),
+    "fig11": (
+        "Figure 11 — dependency-update filtering ablation",
+        lambda points: experiments.experiment_filtering(n_points=points or 20000),
+    ),
+    "fig12": (
+        "Figure 12 — response time vs dimensionality",
+        lambda points: experiments.experiment_dimensions(n_points=points or 5000),
+    ),
+    "fig13": (
+        "Figure 13 — cluster quality (CMM)",
+        lambda points: experiments.experiment_quality(n_points=points or 10000),
+    ),
+    "fig14": (
+        "Figure 14 — cluster quality vs stream rate",
+        lambda points: experiments.experiment_stream_rate(n_points=points or 10000),
+    ),
+    "fig15": (
+        "Figure 15 / Table 4 — dynamic vs static tau",
+        lambda points: scenarios.experiment_adaptive_tau(n_points=points or 20000),
+    ),
+    "fig16": (
+        "Figure 16 — outlier reservoir size",
+        lambda points: experiments.experiment_reservoir(n_points=points or 10000),
+    ),
+    "fig17": (
+        "Figure 17 — effect of the cluster-cell radius",
+        lambda points: experiments.experiment_radius(n_points=points or 10000),
+    ),
+    "ablation": (
+        "Ablation — incremental DP-Tree vs periodic batch DP",
+        lambda points: experiments.experiment_dptree_ablation(n_points=points or 10000),
+    ),
+    "ablation_decay": (
+        "Ablation — decay half-life vs recovery from abrupt drift",
+        lambda points: ablations.experiment_decay_ablation(n_points=points or 8000),
+    ),
+    "ablation_beta": (
+        "Ablation — active-threshold multiplier beta",
+        lambda points: ablations.experiment_beta_ablation(n_points=points or 8000),
+    ),
+    "ablation_index": (
+        "Ablation — nearest-seed index comparison",
+        lambda points: ablations.experiment_index_ablation(
+            n_queries=points or 2000
+        ),
+    ),
+    "ablation_tracking": (
+        "Ablation — online evolution tracking vs offline MONIC / MEC",
+        lambda points: ablations.experiment_tracking_comparison(n_points=points or 12000),
+    ),
+    "ablation_cftree": (
+        "Ablation — CF-Tree (BIRCH) vs DP-Tree (EDMStream) under drift",
+        lambda points: ablations.experiment_cftree_vs_dptree(n_points=points or 8000),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the EDMStream (VLDB 2017) evaluation experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment and print its report")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run.add_argument(
+        "--points",
+        type=int,
+        default=None,
+        help="override the number of stream points (smaller = faster)",
+    )
+    run.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    return parser
+
+
+def run_experiment(experiment_id: str, points: Optional[int] = None) -> ExperimentResult:
+    """Execute one experiment driver by id."""
+    if experiment_id not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    _, factory = EXPERIMENTS[experiment_id]
+    return factory(points)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            description, _ = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id:<10s} {description}")
+        return 0
+
+    result = run_experiment(args.experiment, points=args.points)
+    report = result.to_text()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

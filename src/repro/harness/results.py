@@ -1,0 +1,129 @@
+"""Result containers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class SeriesResult:
+    """A named (x, y) series, e.g. "response time vs stream length"."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def append(self, x: float, y: float) -> None:
+        """Append one (x, y) sample."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def mean(self) -> float:
+        """Mean of the y values (0 for an empty series)."""
+        return sum(self.y) / len(self.y) if self.y else 0.0
+
+    def last(self) -> Optional[float]:
+        """Last y value, or ``None`` for an empty series."""
+        return self.y[-1] if self.y else None
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """The series as a list of {x_label: x, y_label: y} rows."""
+        return [{self.x_label: x, self.y_label: y} for x, y in zip(self.x, self.y)]
+
+
+@dataclass
+class RunMetrics:
+    """Measurements collected while running one algorithm over one stream."""
+
+    algorithm: str
+    stream_name: str
+    n_points: int = 0
+    total_seconds: float = 0.0
+    #: Stream length (points processed) at each checkpoint.
+    checkpoints: List[int] = field(default_factory=list)
+    #: Average per-point response time (µs) inside each checkpoint window,
+    #: including the amortised cost of bringing the clustering up to date.
+    response_time_us: List[float] = field(default_factory=list)
+    #: Throughput (points/second) inside each checkpoint window.
+    throughput: List[float] = field(default_factory=list)
+    #: Wall-clock cost (ms) of one clustering request at each checkpoint.
+    clustering_request_ms: List[float] = field(default_factory=list)
+    #: CMM value over the recent-points window at each checkpoint.
+    cmm: List[float] = field(default_factory=list)
+    #: Number of macro clusters at each checkpoint.
+    n_clusters: List[int] = field(default_factory=list)
+    #: Free-form extra measurements (filter statistics, reservoir size, ...).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def series(self, field_name: str, y_label: Optional[str] = None) -> SeriesResult:
+        """Expose one checkpointed measurement as a :class:`SeriesResult`."""
+        values = getattr(self, field_name)
+        return SeriesResult(
+            name=self.algorithm,
+            x=[float(c) for c in self.checkpoints],
+            y=[float(v) for v in values],
+            x_label="stream length",
+            y_label=y_label or field_name,
+        )
+
+    @property
+    def mean_response_time_us(self) -> float:
+        """Mean per-point response time over all checkpoints (µs)."""
+        if not self.response_time_us:
+            return 0.0
+        return sum(self.response_time_us) / len(self.response_time_us)
+
+    @property
+    def mean_throughput(self) -> float:
+        """Mean throughput over all checkpoints (points/second)."""
+        if not self.throughput:
+            return 0.0
+        return sum(self.throughput) / len(self.throughput)
+
+    @property
+    def mean_cmm(self) -> float:
+        """Mean CMM over all checkpoints."""
+        if not self.cmm:
+            return 0.0
+        return sum(self.cmm) / len(self.cmm)
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment (one table or figure of the paper)."""
+
+    experiment_id: str
+    description: str
+    series: Dict[str, SeriesResult] = field(default_factory=dict)
+    tables: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    runs: List[RunMetrics] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def add_series(self, key: str, series: SeriesResult) -> None:
+        """Register a named series."""
+        self.series[key] = series
+
+    def add_table(self, key: str, rows: List[Dict[str, Any]]) -> None:
+        """Register a named table (list of row dicts)."""
+        self.tables[key] = rows
+
+    def to_text(self) -> str:
+        """Render every table and series of the experiment as plain text."""
+        from repro.harness.reporting import format_series, format_table
+
+        lines = [f"== {self.experiment_id}: {self.description} =="]
+        for key, rows in self.tables.items():
+            lines.append("")
+            lines.append(f"-- table: {key} --")
+            lines.append(format_table(rows))
+        for key, series in self.series.items():
+            lines.append("")
+            lines.append(f"-- series: {key} --")
+            lines.append(format_series(series))
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Abstract interface shared by the nearest-seed indexes."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Iterable, List, Optional, Tuple
+
+
+class SeedIndex(abc.ABC):
+    """Maintains a set of (key, location) pairs and answers nearest queries.
+
+    Keys identify cluster-cells; locations are their seed points.  The index
+    must support dynamic insertion and removal because cells are created,
+    deleted (memory recycling) and never move (a cell's seed is fixed at
+    creation, Definition 4).
+    """
+
+    @abc.abstractmethod
+    def insert(self, key: Hashable, location: Any) -> None:
+        """Add a seed to the index; raises ``KeyError`` if the key exists."""
+
+    @abc.abstractmethod
+    def remove(self, key: Hashable) -> None:
+        """Remove a seed; raises ``KeyError`` if the key is unknown."""
+
+    @abc.abstractmethod
+    def nearest(self, query: Any) -> Optional[Tuple[Hashable, float]]:
+        """Return ``(key, distance)`` of the nearest seed, or ``None`` if empty."""
+
+    @abc.abstractmethod
+    def within(self, query: Any, radius: float) -> List[Tuple[Hashable, float]]:
+        """Return all ``(key, distance)`` pairs with distance <= radius."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of indexed seeds."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: Hashable) -> bool:
+        """Whether a key is currently indexed."""
+
+    @abc.abstractmethod
+    def keys(self) -> Iterable[Hashable]:
+        """Iterate over the indexed keys."""
+
+    def nearest_key(self, query: Any) -> Optional[Hashable]:
+        """Convenience wrapper returning only the nearest key."""
+        result = self.nearest(query)
+        return None if result is None else result[0]

@@ -1,0 +1,67 @@
+"""Brute-force nearest-seed index.
+
+Works with any pairwise distance metric, which makes it the only option for
+non-numeric points such as token sets.  Complexity is O(n) per query, which
+is acceptable because the number of cluster-cells is orders of magnitude
+smaller than the number of stream points (that is precisely the purpose of
+the cluster-cell summarisation, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.distance import DistanceMetric, euclidean
+from repro.index.base import SeedIndex
+
+
+class BruteForceIndex(SeedIndex):
+    """Dictionary-backed linear-scan nearest-seed index."""
+
+    def __init__(self, metric: DistanceMetric = euclidean) -> None:
+        self._metric = metric
+        self._seeds: Dict[Hashable, Any] = {}
+
+    def insert(self, key: Hashable, location: Any) -> None:
+        if key in self._seeds:
+            raise KeyError(f"seed key {key!r} already present in index")
+        self._seeds[key] = location
+
+    def remove(self, key: Hashable) -> None:
+        if key not in self._seeds:
+            raise KeyError(f"seed key {key!r} not present in index")
+        del self._seeds[key]
+
+    def nearest(self, query: Any) -> Optional[Tuple[Hashable, float]]:
+        best_key: Optional[Hashable] = None
+        best_distance = float("inf")
+        for key, location in self._seeds.items():
+            distance = self._metric(query, location)
+            if distance < best_distance:
+                best_key = key
+                best_distance = distance
+        if best_key is None:
+            return None
+        return best_key, best_distance
+
+    def within(self, query: Any, radius: float) -> List[Tuple[Hashable, float]]:
+        results = []
+        for key, location in self._seeds.items():
+            distance = self._metric(query, location)
+            if distance <= radius:
+                results.append((key, distance))
+        results.sort(key=lambda item: item[1])
+        return results
+
+    def location(self, key: Hashable) -> Any:
+        """Return the stored seed location for ``key``."""
+        return self._seeds[key]
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._seeds
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._seeds.keys()

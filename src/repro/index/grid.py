@@ -1,0 +1,166 @@
+"""Uniform-grid nearest-seed index for numeric (Euclidean) spaces.
+
+Seeds are hashed into hyper-cubic buckets of side ``cell_width``.  A nearest
+query inspects buckets in growing rings around the query's bucket and stops
+once the closest seed found so far is provably closer than any seed in an
+unexplored ring.  For EDMStream we set ``cell_width`` to the cluster-cell
+radius ``r``, so the assignment query (is there a seed within ``r``?)
+usually touches only the 3^d neighbouring buckets for small d.
+
+For high-dimensional data (d larger than ``max_grid_dim``) the ring search
+degenerates, so the index transparently falls back to a linear scan while
+still providing the same interface.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.distance import euclidean
+from repro.index.base import SeedIndex
+
+
+class GridIndex(SeedIndex):
+    """Uniform grid over a Euclidean space with ring-expanding nearest search."""
+
+    def __init__(self, cell_width: float, max_grid_dim: int = 6) -> None:
+        if cell_width <= 0:
+            raise ValueError(f"cell_width must be positive, got {cell_width}")
+        self._cell_width = cell_width
+        self._max_grid_dim = max_grid_dim
+        self._seeds: Dict[Hashable, Tuple[float, ...]] = {}
+        self._buckets: Dict[Tuple[int, ...], List[Hashable]] = {}
+        self._dimension: Optional[int] = None
+
+    @property
+    def cell_width(self) -> float:
+        """Side length of a grid bucket."""
+        return self._cell_width
+
+    def _bucket_of(self, location: Sequence[float]) -> Tuple[int, ...]:
+        return tuple(int(math.floor(v / self._cell_width)) for v in location)
+
+    def _use_grid(self) -> bool:
+        return self._dimension is not None and self._dimension <= self._max_grid_dim
+
+    def insert(self, key: Hashable, location: Any) -> None:
+        if key in self._seeds:
+            raise KeyError(f"seed key {key!r} already present in index")
+        point = tuple(float(v) for v in location)
+        if self._dimension is None:
+            self._dimension = len(point)
+        elif len(point) != self._dimension:
+            raise ValueError(
+                f"seed dimension {len(point)} does not match index dimension {self._dimension}"
+            )
+        self._seeds[key] = point
+        bucket = self._bucket_of(point)
+        self._buckets.setdefault(bucket, []).append(key)
+
+    def remove(self, key: Hashable) -> None:
+        if key not in self._seeds:
+            raise KeyError(f"seed key {key!r} not present in index")
+        point = self._seeds.pop(key)
+        bucket = self._bucket_of(point)
+        members = self._buckets.get(bucket, [])
+        if key in members:
+            members.remove(key)
+            if not members:
+                del self._buckets[bucket]
+
+    def _scan_all(self, query: Sequence[float]) -> Optional[Tuple[Hashable, float]]:
+        best_key: Optional[Hashable] = None
+        best_distance = float("inf")
+        for key, location in self._seeds.items():
+            distance = euclidean(query, location)
+            if distance < best_distance:
+                best_key = key
+                best_distance = distance
+        if best_key is None:
+            return None
+        return best_key, best_distance
+
+    def _ring_buckets(self, center: Tuple[int, ...], ring: int) -> Iterable[Tuple[int, ...]]:
+        """Buckets whose Chebyshev distance from ``center`` is exactly ``ring``."""
+        dimension = len(center)
+        if ring == 0:
+            yield center
+            return
+        for offsets in itertools.product(range(-ring, ring + 1), repeat=dimension):
+            if max(abs(o) for o in offsets) != ring:
+                continue
+            yield tuple(c + o for c, o in zip(center, offsets))
+
+    def nearest(self, query: Any) -> Optional[Tuple[Hashable, float]]:
+        if not self._seeds:
+            return None
+        point = tuple(float(v) for v in query)
+        if not self._use_grid():
+            return self._scan_all(point)
+
+        center = self._bucket_of(point)
+        best_key: Optional[Hashable] = None
+        best_distance = float("inf")
+        max_ring = self._max_ring(center)
+        for ring in range(max_ring + 1):
+            # Once we have a candidate, any seed in ring k is at least
+            # (k - 1) * cell_width away, so we can stop expanding.
+            if best_key is not None and (ring - 1) * self._cell_width > best_distance:
+                break
+            for bucket in self._ring_buckets(center, ring):
+                for key in self._buckets.get(bucket, ()):  # missing buckets are empty
+                    distance = euclidean(point, self._seeds[key])
+                    if distance < best_distance:
+                        best_key = key
+                        best_distance = distance
+        if best_key is None:
+            return self._scan_all(point)
+        return best_key, best_distance
+
+    def _max_ring(self, center: Tuple[int, ...]) -> int:
+        """Largest ring that could contain any occupied bucket."""
+        max_ring = 0
+        for bucket in self._buckets:
+            ring = max(abs(b - c) for b, c in zip(bucket, center))
+            if ring > max_ring:
+                max_ring = ring
+        return max_ring
+
+    def within(self, query: Any, radius: float) -> List[Tuple[Hashable, float]]:
+        point = tuple(float(v) for v in query)
+        results: List[Tuple[Hashable, float]] = []
+        if not self._seeds:
+            return results
+        if not self._use_grid():
+            for key, location in self._seeds.items():
+                distance = euclidean(point, location)
+                if distance <= radius:
+                    results.append((key, distance))
+            results.sort(key=lambda item: item[1])
+            return results
+
+        center = self._bucket_of(point)
+        max_ring = int(math.ceil(radius / self._cell_width)) + 1
+        for ring in range(max_ring + 1):
+            for bucket in self._ring_buckets(center, ring):
+                for key in self._buckets.get(bucket, ()):
+                    distance = euclidean(point, self._seeds[key])
+                    if distance <= radius:
+                        results.append((key, distance))
+        results.sort(key=lambda item: item[1])
+        return results
+
+    def location(self, key: Hashable) -> Tuple[float, ...]:
+        """Return the stored seed location for ``key``."""
+        return self._seeds[key]
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._seeds
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._seeds.keys()

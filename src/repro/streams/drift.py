@@ -1,0 +1,271 @@
+"""Concept-drift stream generators.
+
+The paper's SDS script exercises one fixed evolution story (move, merge,
+split, emerge, disappear).  The generators in this module produce
+*parameterised* drifting streams in the style of the MOA benchmark suite, so
+the adaptive-τ and evolution-tracking ablations can be run over many drift
+regimes:
+
+* :class:`RBFDriftGenerator` — a radial-basis-function generator: ``k``
+  Gaussian kernels whose centroids move with a per-kernel velocity, bounce
+  off the domain walls, and whose weights can change over time.
+* :func:`abrupt_drift_stream` — concatenates two stationary mixtures with a
+  sudden switch at a given time (abrupt / sudden drift).
+* :func:`gradual_drift_stream` — interpolates the sampling probability
+  between two mixtures over a transition window (gradual drift).
+
+All generators return ordinary :class:`~repro.streams.stream.DataStream`
+objects with ground-truth labels, so they plug into the same runners,
+metrics and trackers as the paper's workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.streams.point import StreamPoint
+from repro.streams.stream import DataStream
+
+__all__ = [
+    "DriftingKernel",
+    "RBFDriftGenerator",
+    "GaussianMixture",
+    "abrupt_drift_stream",
+    "gradual_drift_stream",
+]
+
+
+@dataclass
+class DriftingKernel:
+    """One moving Gaussian kernel of the RBF generator."""
+
+    center: np.ndarray
+    velocity: np.ndarray
+    std: float
+    weight: float
+    label: int
+
+    def step(self, dt: float, bounds: Tuple[float, float]) -> None:
+        """Advance the kernel centre, bouncing off the domain walls."""
+        low, high = bounds
+        self.center = self.center + self.velocity * dt
+        for d in range(self.center.shape[0]):
+            if self.center[d] < low:
+                self.center[d] = low + (low - self.center[d])
+                self.velocity[d] = -self.velocity[d]
+            elif self.center[d] > high:
+                self.center[d] = high - (self.center[d] - high)
+                self.velocity[d] = -self.velocity[d]
+
+
+class RBFDriftGenerator:
+    """Random-RBF stream with continuously drifting kernel centroids.
+
+    Parameters
+    ----------
+    n_points:
+        Number of points to generate.
+    n_kernels:
+        Number of Gaussian kernels (= ground-truth clusters).
+    dimension:
+        Dimensionality of the points.
+    drift_speed:
+        Distance each kernel centroid moves per second of stream time.
+    kernel_std:
+        Standard deviation of each kernel.
+    bounds:
+        Lower/upper bound of the hyper-cube the kernels live (and bounce) in.
+    rate:
+        Point-arrival rate (points per second).
+    noise_fraction:
+        Fraction of points drawn uniformly from the domain and labelled -1.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        n_points: int = 10_000,
+        n_kernels: int = 5,
+        dimension: int = 2,
+        drift_speed: float = 0.5,
+        kernel_std: float = 0.3,
+        bounds: Tuple[float, float] = (0.0, 10.0),
+        rate: float = 1000.0,
+        noise_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if n_points < 1:
+            raise ValueError(f"n_points must be >= 1, got {n_points}")
+        if n_kernels < 1:
+            raise ValueError(f"n_kernels must be >= 1, got {n_kernels}")
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if not 0.0 <= noise_fraction < 1.0:
+            raise ValueError(f"noise_fraction must be in [0, 1), got {noise_fraction}")
+        if bounds[0] >= bounds[1]:
+            raise ValueError(f"bounds must be increasing, got {bounds}")
+        if drift_speed < 0:
+            raise ValueError(f"drift_speed must be non-negative, got {drift_speed}")
+        self.n_points = n_points
+        self.n_kernels = n_kernels
+        self.dimension = dimension
+        self.drift_speed = drift_speed
+        self.kernel_std = kernel_std
+        self.bounds = bounds
+        self.rate = rate
+        self.noise_fraction = noise_fraction
+        self.seed = seed
+
+    def make_kernels(self, rng: np.random.Generator) -> List[DriftingKernel]:
+        """Initial kernel set (uniform centres, random unit velocities)."""
+        kernels = []
+        low, high = self.bounds
+        for label in range(self.n_kernels):
+            center = rng.uniform(low, high, size=self.dimension)
+            direction = rng.normal(size=self.dimension)
+            norm = np.linalg.norm(direction)
+            direction = direction / norm if norm > 0 else np.ones(self.dimension) / np.sqrt(self.dimension)
+            kernels.append(
+                DriftingKernel(
+                    center=center,
+                    velocity=direction * self.drift_speed,
+                    std=self.kernel_std,
+                    weight=float(rng.uniform(0.5, 1.5)),
+                    label=label,
+                )
+            )
+        return kernels
+
+    def generate(self) -> DataStream:
+        """Generate the drifting stream."""
+        rng = np.random.default_rng(self.seed)
+        kernels = self.make_kernels(rng)
+        interval = 1.0 / self.rate
+        low, high = self.bounds
+
+        points: List[StreamPoint] = []
+        for i in range(self.n_points):
+            timestamp = i * interval
+            for kernel in kernels:
+                kernel.step(interval, self.bounds)
+            if self.noise_fraction > 0 and rng.random() < self.noise_fraction:
+                values = rng.uniform(low, high, size=self.dimension)
+                label = -1
+            else:
+                weights = np.asarray([k.weight for k in kernels])
+                kernel = kernels[rng.choice(self.n_kernels, p=weights / weights.sum())]
+                values = rng.normal(kernel.center, kernel.std)
+                label = kernel.label
+            points.append(
+                StreamPoint(
+                    values=tuple(float(v) for v in values),
+                    timestamp=timestamp,
+                    label=label,
+                    point_id=i,
+                )
+            )
+        return DataStream(points=points, name="rbf-drift", rate=self.rate)
+
+
+@dataclass
+class GaussianMixture:
+    """A stationary mixture of labelled Gaussian components."""
+
+    centers: Sequence[Sequence[float]]
+    std: float = 0.3
+    weights: Optional[Sequence[float]] = None
+    labels: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.centers) == 0:
+            raise ValueError("a mixture needs at least one component")
+        if self.weights is not None and len(self.weights) != len(self.centers):
+            raise ValueError("weights length must match the number of components")
+        if self.labels is not None and len(self.labels) != len(self.centers):
+            raise ValueError("labels length must match the number of components")
+
+    def sample(self, rng: np.random.Generator) -> Tuple[Tuple[float, ...], int]:
+        """Draw one labelled point from the mixture."""
+        k = len(self.centers)
+        if self.weights is None:
+            index = int(rng.integers(0, k))
+        else:
+            weights = np.asarray(self.weights, dtype=float)
+            index = int(rng.choice(k, p=weights / weights.sum()))
+        center = np.asarray(self.centers[index], dtype=float)
+        values = rng.normal(center, self.std)
+        label = index if self.labels is None else int(self.labels[index])
+        return tuple(float(v) for v in values), label
+
+
+def abrupt_drift_stream(
+    before: GaussianMixture,
+    after: GaussianMixture,
+    n_points: int = 10_000,
+    drift_point: float = 0.5,
+    rate: float = 1000.0,
+    seed: int = 0,
+    name: str = "abrupt-drift",
+) -> DataStream:
+    """A stream that switches from ``before`` to ``after`` at ``drift_point``.
+
+    ``drift_point`` is the fraction of the stream after which the concept
+    changes abruptly (0.5 = halfway).
+    """
+    if not 0.0 < drift_point < 1.0:
+        raise ValueError(f"drift_point must be in (0, 1), got {drift_point}")
+    rng = np.random.default_rng(seed)
+    interval = 1.0 / rate
+    switch_index = int(n_points * drift_point)
+    points = []
+    for i in range(n_points):
+        mixture = before if i < switch_index else after
+        values, label = mixture.sample(rng)
+        points.append(
+            StreamPoint(values=values, timestamp=i * interval, label=label, point_id=i)
+        )
+    return DataStream(points=points, name=name, rate=rate)
+
+
+def gradual_drift_stream(
+    before: GaussianMixture,
+    after: GaussianMixture,
+    n_points: int = 10_000,
+    drift_start: float = 0.3,
+    drift_end: float = 0.7,
+    rate: float = 1000.0,
+    seed: int = 0,
+    name: str = "gradual-drift",
+) -> DataStream:
+    """A stream whose sampling probability shifts linearly from ``before`` to ``after``.
+
+    Points before ``drift_start`` (a stream fraction) come from ``before``,
+    points after ``drift_end`` come from ``after``; in between the probability
+    of sampling from ``after`` rises linearly — the standard sigmoid-free
+    model of gradual drift.
+    """
+    if not 0.0 <= drift_start < drift_end <= 1.0:
+        raise ValueError(
+            f"drift window must satisfy 0 <= start < end <= 1, got ({drift_start}, {drift_end})"
+        )
+    rng = np.random.default_rng(seed)
+    interval = 1.0 / rate
+    points = []
+    for i in range(n_points):
+        progress = i / max(1, n_points - 1)
+        if progress <= drift_start:
+            p_after = 0.0
+        elif progress >= drift_end:
+            p_after = 1.0
+        else:
+            p_after = (progress - drift_start) / (drift_end - drift_start)
+        mixture = after if rng.random() < p_after else before
+        values, label = mixture.sample(rng)
+        points.append(
+            StreamPoint(values=values, timestamp=i * interval, label=label, point_id=i)
+        )
+    return DataStream(points=points, name=name, rate=rate)

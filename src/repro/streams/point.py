@@ -1,0 +1,69 @@
+"""The timestamped stream point (Section 3.1).
+
+A data stream is a sequence of d-dimensional points each carrying an arrival
+timestamp.  :class:`StreamPoint` also carries an optional ground-truth label
+(used only by the evaluation harness, never by the clusterers) and an
+optional opaque payload (e.g. the raw text of a news item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StreamPoint:
+    """A single timestamped element of a data stream.
+
+    Parameters
+    ----------
+    values:
+        The attribute vector.  For text streams this is a
+        :class:`repro.distance.TokenSetPoint` instead of a numeric tuple.
+    timestamp:
+        Arrival time in seconds (monotone non-decreasing within a stream).
+    label:
+        Optional ground-truth cluster/class label, used by external quality
+        metrics such as CMM.  Clusterers must never read this field.
+    point_id:
+        Optional unique identifier assigned by the stream generator.
+    payload:
+        Optional extra data carried alongside the point (e.g. raw text).
+    """
+
+    values: Any
+    timestamp: float
+    label: Optional[int] = None
+    point_id: Optional[int] = None
+    payload: Any = field(default=None, compare=False)
+
+    @property
+    def dimension(self) -> int:
+        """Number of attributes (0 for non-numeric payload points)."""
+        try:
+            return len(self.values)
+        except TypeError:
+            return 0
+
+    def as_tuple(self) -> Tuple[float, ...]:
+        """Return the attribute vector as a plain tuple of floats."""
+        return tuple(float(v) for v in self.values)
+
+    @classmethod
+    def from_sequence(
+        cls,
+        values: Sequence[float],
+        timestamp: float,
+        label: Optional[int] = None,
+        point_id: Optional[int] = None,
+        payload: Any = None,
+    ) -> "StreamPoint":
+        """Build a point from any numeric sequence, copying it into a tuple."""
+        return cls(
+            values=tuple(float(v) for v in values),
+            timestamp=float(timestamp),
+            label=label,
+            point_id=point_id,
+            payload=payload,
+        )

@@ -1,0 +1,236 @@
+"""Synthetic stream generators: SDS and HDS (Table 2).
+
+SDS
+    A 2-D stream of 20,000 points at 1,000 pt/s (20 seconds) whose two
+    Gaussian clusters follow the evolution script of Figure 6:
+
+    * 0–8 s: two clusters move towards each other,
+    * ~9 s: they merge into a single cluster,
+    * ~12 s: a new cluster emerges on the right while the left one shrinks,
+    * ~14 s: the left cluster disappears and the merged cluster splits,
+    * 14–20 s: the two surviving clusters move apart.
+
+HDS
+    A d-dimensional stream (d in {10, 30, 100, 300, 1000}) of 100,000 points
+    drawn from 20 well-separated hyper-spherical Gaussian clusters, used for
+    the dimensionality-scaling experiment (Figure 12).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.streams.point import StreamPoint
+from repro.streams.stream import DataStream
+
+
+@dataclass
+class ClusterTrack:
+    """A time-varying Gaussian cluster used by the SDS script.
+
+    ``center_fn`` maps stream time (seconds) to the cluster centre;
+    ``weight_fn`` maps time to the cluster's share of arriving points
+    (0 disables the cluster at that time).
+    """
+
+    label: int
+    center_fn: Callable[[float], Tuple[float, float]]
+    weight_fn: Callable[[float], float]
+    std: float = 0.45
+
+
+def _default_sds_tracks() -> List[ClusterTrack]:
+    """The Figure 6 evolution script.
+
+    * 0-9 s: clusters 0 and 1 move towards each other and merge at ~9 s.
+    * 9-12 s: the merged cluster sits at the centre of the domain.
+    * 12 s: cluster 2 emerges in the upper-right corner while the merged
+      cluster starts shrinking.
+    * 14 s: the merged cluster has disappeared; cluster 2 splits into
+      clusters 2 and 3, which then move apart until 20 s.
+    """
+
+    def left_center(t: float) -> Tuple[float, float]:
+        # Moves right towards the meeting point at x = 5 until 9 s.
+        x = 2.0 + min(t, 9.0) * (3.0 / 9.0)
+        return (x, 4.0)
+
+    def right_center(t: float) -> Tuple[float, float]:
+        # Mirror image of the left cluster; after the merge both tracks emit
+        # from the same centre, forming a single merged cluster.
+        x = 8.0 - min(t, 9.0) * (3.0 / 9.0)
+        return (x, 4.0)
+
+    def emergent_center(t: float) -> Tuple[float, float]:
+        # Emerges at 12 s; after 14 s it is the upper half of the split,
+        # moving up-right.
+        progress = max(0.0, t - 14.0)
+        return (8.0 + progress * 0.15, 8.0 + progress * 0.5)
+
+    def split_off_center(t: float) -> Tuple[float, float]:
+        # The lower half of the split, moving down-left after 14 s.
+        progress = max(0.0, t - 14.0)
+        return (8.0 - progress * 0.15, 8.0 - progress * 0.5)
+
+    def merged_weight(t: float) -> float:
+        # Per-track weight of the two merging clusters: constant until 12 s,
+        # then fading out so that the merged cluster disappears by 14 s.
+        if t < 12.0:
+            return 0.5
+        if t < 14.0:
+            return 0.5 * (14.0 - t) / 2.0
+        return 0.0
+
+    def emergent_weight(t: float) -> float:
+        if t < 12.0:
+            return 0.0
+        return 0.5
+
+    def split_off_weight(t: float) -> float:
+        if t < 14.0:
+            return 0.0
+        return 0.5
+
+    return [
+        ClusterTrack(label=0, center_fn=left_center, weight_fn=merged_weight),
+        ClusterTrack(label=1, center_fn=right_center, weight_fn=merged_weight),
+        ClusterTrack(label=2, center_fn=emergent_center, weight_fn=emergent_weight),
+        ClusterTrack(label=3, center_fn=split_off_center, weight_fn=split_off_weight),
+    ]
+
+
+@dataclass
+class SDSGenerator:
+    """Synthetic 2-D evolving data stream (SDS, Table 2).
+
+    Parameters
+    ----------
+    n_points:
+        Total number of points (paper: 20,000).
+    rate:
+        Arrival rate in points per second (paper: 1,000 pt/s, so the stream
+        spans 20 seconds).
+    noise_fraction:
+        Fraction of points drawn uniformly over the domain as noise.
+    seed:
+        Random seed.
+    tracks:
+        Evolution script; defaults to the Figure 6 script.
+    """
+
+    n_points: int = 20000
+    rate: float = 1000.0
+    noise_fraction: float = 0.02
+    seed: int = 7
+    tracks: List[ClusterTrack] = field(default_factory=_default_sds_tracks)
+    domain: Tuple[float, float] = (0.0, 10.0)
+
+    def generate(self) -> DataStream:
+        """Generate the SDS stream."""
+        rng = np.random.default_rng(self.seed)
+        interval = 1.0 / self.rate
+        points: List[StreamPoint] = []
+        low, high = self.domain
+        for i in range(self.n_points):
+            t = i * interval
+            if rng.random() < self.noise_fraction:
+                values = tuple(rng.uniform(low, high, size=2))
+                label = -1
+            else:
+                weights = np.asarray([track.weight_fn(t) for track in self.tracks])
+                total = weights.sum()
+                if total <= 0:
+                    values = tuple(rng.uniform(low, high, size=2))
+                    label = -1
+                else:
+                    probabilities = weights / total
+                    index = int(rng.choice(len(self.tracks), p=probabilities))
+                    track = self.tracks[index]
+                    center = track.center_fn(t)
+                    values = (
+                        float(rng.normal(center[0], track.std)),
+                        float(rng.normal(center[1], track.std)),
+                    )
+                    label = track.label
+            points.append(
+                StreamPoint(values=values, timestamp=t, label=label, point_id=i)
+            )
+        return DataStream(points=points, name="SDS", rate=self.rate)
+
+    def snapshot_times(self) -> List[float]:
+        """The snapshot times of Figure 6."""
+        return [1.0, 4.0, 8.0, 12.0, 14.0, 20.0]
+
+
+@dataclass
+class HDSGenerator:
+    """High-dimensional synthetic stream (HDS, Table 2).
+
+    20 hyper-spherical Gaussian clusters in ``dimension``-dimensional space,
+    100,000 points by default, following the SynDECA-style generation the
+    paper references.  Cluster centres are placed on a scaled random lattice
+    so that clusters stay separated as the dimension grows.
+    """
+
+    dimension: int = 10
+    n_points: int = 100000
+    n_clusters: int = 20
+    rate: float = 1000.0
+    cluster_std: float = 1.0
+    center_spread: float = 60.0
+    noise_fraction: float = 0.01
+    seed: int = 11
+
+    def generate(self) -> DataStream:
+        """Generate the HDS stream."""
+        if self.dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {self.dimension}")
+        rng = np.random.default_rng(self.seed)
+        centers = rng.uniform(0.0, self.center_spread, size=(self.n_clusters, self.dimension))
+        interval = 1.0 / self.rate
+        labels = rng.integers(0, self.n_clusters, size=self.n_points)
+        noise_mask = rng.random(self.n_points) < self.noise_fraction
+        offsets = rng.normal(0.0, self.cluster_std, size=(self.n_points, self.dimension))
+        values = centers[labels] + offsets
+        noise_values = rng.uniform(0.0, self.center_spread, size=(self.n_points, self.dimension))
+        values[noise_mask] = noise_values[noise_mask]
+        points = [
+            StreamPoint(
+                values=tuple(values[i]),
+                timestamp=i * interval,
+                label=-1 if noise_mask[i] else int(labels[i]),
+                point_id=i,
+            )
+            for i in range(self.n_points)
+        ]
+        return DataStream(points=points, name=f"HDS-{self.dimension}d", rate=self.rate)
+
+    @staticmethod
+    def paper_radius(dimension: int) -> float:
+        """Cluster-cell radius used in Table 2 for each HDS dimensionality."""
+        table = {10: 60.0, 30: 65.0, 100: 68.0, 300: 70.0, 1000: 70.0}
+        if dimension in table:
+            return table[dimension]
+        # Interpolate/extrapolate smoothly for other dimensions.
+        return 60.0 + 10.0 * (1.0 - math.exp(-dimension / 100.0))
+
+
+def make_sds_stream(
+    n_points: int = 20000, rate: float = 1000.0, seed: int = 7
+) -> DataStream:
+    """Convenience constructor for the SDS stream."""
+    return SDSGenerator(n_points=n_points, rate=rate, seed=seed).generate()
+
+
+def make_hds_stream(
+    dimension: int = 10, n_points: int = 100000, rate: float = 1000.0, seed: int = 11
+) -> DataStream:
+    """Convenience constructor for the HDS stream."""
+    return HDSGenerator(
+        dimension=dimension, n_points=n_points, rate=rate, seed=seed
+    ).generate()

@@ -1,0 +1,48 @@
+"""Offline cluster-transition tracking baselines.
+
+EDMStream tracks cluster evolution *online*, as a by-product of maintaining
+the DP-Tree.  The solutions the paper positions itself against (Sections 1
+and 7) instead run a separate *offline* transition-detection procedure over
+successive clusterings:
+
+* :mod:`repro.tracking.monic` — MONIC (Spiliopoulou et al., KDD 2006):
+  weighted-overlap matching with external transitions (survive, split,
+  absorb, disappear, emerge) and internal transitions (size, compactness,
+  location) for surviving clusters.
+* :mod:`repro.tracking.mec` — MEC (Oliveira & Gama, IDA 2012): a bipartite
+  transition graph built from conditional probabilities between snapshots.
+* :mod:`repro.tracking.adapter` — glue that records object-level cluster
+  snapshots from any :class:`~repro.baselines.base.StreamClusterer` (via
+  ``predict_one`` over a sliding window of recent points) so the offline
+  trackers can be applied to algorithms without native evolution tracking,
+  and helpers to compare their event logs with EDMStream's
+  :class:`~repro.core.evolution.EvolutionTracker`.
+"""
+
+from repro.tracking.transitions import (
+    ClusterSnapshot,
+    ExternalTransition,
+    InternalTransition,
+    TransitionType,
+    WeightedCluster,
+)
+from repro.tracking.monic import MonicTracker
+from repro.tracking.mec import MECTracker
+from repro.tracking.adapter import (
+    SnapshotRecorder,
+    compare_event_logs,
+    events_from_external_transitions,
+)
+
+__all__ = [
+    "WeightedCluster",
+    "ClusterSnapshot",
+    "TransitionType",
+    "ExternalTransition",
+    "InternalTransition",
+    "MonicTracker",
+    "MECTracker",
+    "SnapshotRecorder",
+    "events_from_external_transitions",
+    "compare_event_logs",
+]

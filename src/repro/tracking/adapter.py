@@ -1,0 +1,213 @@
+"""Glue between stream clusterers and the offline transition trackers.
+
+The offline trackers (MONIC, MEC) need object-level snapshots: which recent
+stream points belong to which macro cluster at each observation time.  None
+of the two-phase baselines expose that directly, but all of them (and
+EDMStream) implement ``predict_one``; :class:`SnapshotRecorder` therefore
+keeps a sliding window of recent points and, at each observation, queries
+the clusterer for every windowed point to build a
+:class:`~repro.tracking.transitions.ClusterSnapshot` with freshness weights.
+
+This module also provides helpers to convert external-transition logs into
+:class:`~repro.core.evolution.ClusterEvent` records and to compare two event
+logs (e.g. EDMStream's native online log versus MONIC's offline log) — used
+by the tracking ablation experiment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.decay import DecayModel
+from repro.core.evolution import ClusterEvent, EvolutionType
+from repro.streams.point import StreamPoint
+from repro.tracking.transitions import ClusterSnapshot, ExternalTransition, TransitionType
+
+
+@dataclass
+class _WindowedPoint:
+    point_id: Hashable
+    values: Any
+    timestamp: float
+
+
+class SnapshotRecorder:
+    """Builds object-level cluster snapshots from any stream clusterer.
+
+    Parameters
+    ----------
+    clusterer:
+        Any object exposing ``predict_one(values) -> int`` with ``-1`` (or
+        ``noise_label``) meaning "outlier / unassigned".
+    window_size:
+        Number of most recent points kept in the sliding window; only these
+        points appear in snapshots.
+    decay:
+        Optional decay model used to weight windowed points by freshness at
+        observation time (MONIC's age weighting).  ``None`` weighs every
+        point 1.
+    noise_label:
+        Label returned by the clusterer for outliers.
+    """
+
+    def __init__(
+        self,
+        clusterer: Any,
+        window_size: int = 500,
+        decay: Optional[DecayModel] = None,
+        noise_label: int = -1,
+    ) -> None:
+        if window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {window_size}")
+        self.clusterer = clusterer
+        self.window_size = window_size
+        self.decay = decay
+        self.noise_label = noise_label
+        self._window: Deque[_WindowedPoint] = deque(maxlen=window_size)
+        self._next_auto_id = 0
+        self.snapshots: List[ClusterSnapshot] = []
+
+    # ------------------------------------------------------------------ #
+    # window maintenance
+    # ------------------------------------------------------------------ #
+    def add_point(
+        self,
+        values: Any,
+        timestamp: float,
+        point_id: Optional[Hashable] = None,
+    ) -> None:
+        """Add one stream point to the sliding window."""
+        if point_id is None:
+            point_id = self._next_auto_id
+            self._next_auto_id += 1
+        self._window.append(_WindowedPoint(point_id=point_id, values=values, timestamp=timestamp))
+
+    def add_stream_point(self, point: StreamPoint) -> None:
+        """Add a :class:`~repro.streams.point.StreamPoint` to the window."""
+        self.add_point(point.values, point.timestamp, point_id=point.point_id)
+
+    def window_points(self) -> List[Tuple[Hashable, Any, float]]:
+        """The (id, values, timestamp) triples currently in the window."""
+        return [(p.point_id, p.values, p.timestamp) for p in self._window]
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    # ------------------------------------------------------------------ #
+    # snapshot construction
+    # ------------------------------------------------------------------ #
+    def snapshot(self, time: float) -> ClusterSnapshot:
+        """Query the clusterer for every windowed point and build a snapshot."""
+        assignment: Dict[Hashable, Hashable] = {}
+        weights: Dict[Hashable, float] = {}
+        locations: Dict[Hashable, Tuple[float, ...]] = {}
+        for windowed in self._window:
+            label = self.clusterer.predict_one(windowed.values)
+            assignment[windowed.point_id] = label
+            if self.decay is not None:
+                weights[windowed.point_id] = self.decay.freshness(windowed.timestamp, time)
+            try:
+                locations[windowed.point_id] = tuple(float(v) for v in windowed.values)
+            except (TypeError, ValueError):
+                pass
+        snapshot = ClusterSnapshot.from_assignment(
+            time=time,
+            assignment=assignment,
+            weights=weights,
+            noise_label=self.noise_label,
+            locations=locations or None,
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+
+# ---------------------------------------------------------------------- #
+# log conversion and comparison
+# ---------------------------------------------------------------------- #
+
+#: How MONIC/MEC transition types map onto the paper's five evolution types.
+_TRANSITION_TO_EVOLUTION: Mapping[TransitionType, EvolutionType] = {
+    TransitionType.EMERGE: EvolutionType.EMERGE,
+    TransitionType.DISAPPEAR: EvolutionType.DISAPPEAR,
+    TransitionType.SPLIT: EvolutionType.SPLIT,
+    TransitionType.ABSORB: EvolutionType.MERGE,
+    TransitionType.SURVIVE: EvolutionType.SURVIVE,
+}
+
+
+def events_from_external_transitions(
+    transitions: Sequence[ExternalTransition],
+) -> List[ClusterEvent]:
+    """Convert MONIC/MEC external transitions into ClusterEvent records.
+
+    Internal transitions and transition types without a counterpart in the
+    paper's Table 1 are dropped, so that the resulting log is directly
+    comparable with :class:`~repro.core.evolution.EvolutionTracker` output.
+    """
+    events: List[ClusterEvent] = []
+    for transition in transitions:
+        evolution_type = _TRANSITION_TO_EVOLUTION.get(transition.transition_type)
+        if evolution_type is None:
+            continue
+        events.append(
+            ClusterEvent(
+                event_type=evolution_type,
+                time=transition.time,
+                old_clusters=tuple(transition.old_clusters),
+                new_clusters=tuple(transition.new_clusters),
+                description=transition.description,
+            )
+        )
+    return events
+
+
+def compare_event_logs(
+    reference: Sequence[ClusterEvent],
+    candidate: Sequence[ClusterEvent],
+    time_tolerance: float = 1.0,
+    types: Sequence[EvolutionType] = (
+        EvolutionType.EMERGE,
+        EvolutionType.DISAPPEAR,
+        EvolutionType.SPLIT,
+        EvolutionType.MERGE,
+    ),
+) -> Dict[str, Dict[str, float]]:
+    """Compare two evolution-event logs per event type.
+
+    For every type the candidate log is scored against the reference log by
+    greedy time matching: a candidate event counts as a hit when a reference
+    event of the same type lies within ``time_tolerance`` seconds and has not
+    been matched yet.  Returns, per type, the reference/candidate counts and
+    the recall and precision of the candidate.
+    """
+    report: Dict[str, Dict[str, float]] = {}
+    for event_type in types:
+        ref_times = sorted(e.time for e in reference if e.event_type == event_type)
+        cand_times = sorted(e.time for e in candidate if e.event_type == event_type)
+        matched_ref: set = set()
+        hits = 0
+        for t in cand_times:
+            best_index = None
+            best_gap = time_tolerance
+            for i, rt in enumerate(ref_times):
+                if i in matched_ref:
+                    continue
+                gap = abs(rt - t)
+                if gap <= best_gap:
+                    best_index = i
+                    best_gap = gap
+            if best_index is not None:
+                matched_ref.add(best_index)
+                hits += 1
+        n_ref = len(ref_times)
+        n_cand = len(cand_times)
+        report[event_type.value] = {
+            "reference": float(n_ref),
+            "candidate": float(n_cand),
+            "hits": float(hits),
+            "recall": hits / n_ref if n_ref else 1.0,
+            "precision": hits / n_cand if n_cand else 1.0,
+        }
+    return report

@@ -1,0 +1,227 @@
+"""MEC — monitoring the evolution of clusters (Oliveira & Gama 2012).
+
+MEC builds, between two consecutive clusterings, a bipartite *transition
+graph*: an edge connects old cluster X to new cluster Y when the conditional
+probability of an object of X belonging to Y,
+
+    P(Y | X) = |X ∩ Y| / |X|,
+
+exceeds an edge threshold.  Transitions are then read off the degrees of the
+graph:
+
+* an old cluster with no outgoing edge **dies**;
+* a new cluster with no incoming edge is **born**;
+* an old cluster with ≥ 2 outgoing edges **splits**;
+* a new cluster with ≥ 2 incoming edges is a **merge**;
+* a 1-to-1 edge whose weight reaches the survival threshold is a
+  **survival**.
+
+Compared to MONIC, MEC uses unweighted conditional probabilities and reads
+all transition kinds directly from the graph structure; it is included as a
+second, independent offline tracker to compare EDMStream's online evolution
+log against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.tracking.transitions import (
+    ClusterSnapshot,
+    ExternalTransition,
+    TransitionType,
+    transition_counts,
+)
+
+
+@dataclass(frozen=True)
+class TransitionEdge:
+    """One edge of the bipartite transition graph."""
+
+    old_cluster: Hashable
+    new_cluster: Hashable
+    #: Conditional probability P(new | old) = |old ∩ new| / |old|.
+    forward: float
+    #: Conditional probability P(old | new) = |old ∩ new| / |new|.
+    backward: float
+    #: Number of shared objects.
+    shared: int
+
+
+class MECTracker:
+    """Detects cluster transitions from a bipartite conditional-probability graph.
+
+    Parameters
+    ----------
+    edge_threshold:
+        Minimum P(new | old) for an edge to be added to the transition graph.
+    survival_threshold:
+        Minimum P(new | old) of a 1-to-1 edge for the old cluster to count as
+        surviving (rather than merely overlapping).
+    """
+
+    def __init__(self, edge_threshold: float = 0.25, survival_threshold: float = 0.5) -> None:
+        if not 0.0 < edge_threshold <= 1.0:
+            raise ValueError(f"edge_threshold must be in (0, 1], got {edge_threshold}")
+        if not edge_threshold <= survival_threshold <= 1.0:
+            raise ValueError(
+                "survival_threshold must be in [edge_threshold, 1], got "
+                f"{survival_threshold} (edge_threshold={edge_threshold})"
+            )
+        self.edge_threshold = edge_threshold
+        self.survival_threshold = survival_threshold
+        self.transitions: List[ExternalTransition] = []
+        self.graphs: List[Tuple[float, List[TransitionEdge]]] = []
+        self._previous: Optional[ClusterSnapshot] = None
+
+    # ------------------------------------------------------------------ #
+    # observation API
+    # ------------------------------------------------------------------ #
+    def observe(self, snapshot: ClusterSnapshot) -> List[ExternalTransition]:
+        """Record a snapshot and return the transitions it triggered."""
+        if self._previous is None:
+            transitions = [
+                ExternalTransition(
+                    transition_type=TransitionType.EMERGE,
+                    time=snapshot.time,
+                    new_clusters=(cluster.cluster_id,),
+                    description="initial cluster",
+                )
+                for cluster in snapshot
+            ]
+            self.graphs.append((snapshot.time, []))
+        else:
+            edges = self.build_graph(self._previous, snapshot)
+            self.graphs.append((snapshot.time, edges))
+            transitions = self._read_transitions(self._previous, snapshot, edges)
+        self.transitions.extend(transitions)
+        self._previous = snapshot
+        return transitions
+
+    # ------------------------------------------------------------------ #
+    # graph construction and interpretation
+    # ------------------------------------------------------------------ #
+    def build_graph(
+        self, old: ClusterSnapshot, new: ClusterSnapshot
+    ) -> List[TransitionEdge]:
+        """Bipartite transition graph between two snapshots."""
+        edges: List[TransitionEdge] = []
+        for old_cluster in old:
+            if not old_cluster.members:
+                continue
+            for new_cluster in new:
+                shared = len(old_cluster.members & new_cluster.members)
+                if shared == 0:
+                    continue
+                forward = shared / len(old_cluster.members)
+                backward = shared / len(new_cluster.members) if new_cluster.members else 0.0
+                if forward >= self.edge_threshold or backward >= self.edge_threshold:
+                    edges.append(
+                        TransitionEdge(
+                            old_cluster=old_cluster.cluster_id,
+                            new_cluster=new_cluster.cluster_id,
+                            forward=forward,
+                            backward=backward,
+                            shared=shared,
+                        )
+                    )
+        return edges
+
+    def _read_transitions(
+        self,
+        old: ClusterSnapshot,
+        new: ClusterSnapshot,
+        edges: List[TransitionEdge],
+    ) -> List[ExternalTransition]:
+        time = new.time
+        transitions: List[ExternalTransition] = []
+
+        out_edges: Dict[Hashable, List[TransitionEdge]] = {
+            c.cluster_id: [] for c in old
+        }
+        in_edges: Dict[Hashable, List[TransitionEdge]] = {
+            c.cluster_id: [] for c in new
+        }
+        for edge in edges:
+            out_edges[edge.old_cluster].append(edge)
+            in_edges[edge.new_cluster].append(edge)
+
+        # Deaths and splits from the old side.
+        for old_id, outgoing in out_edges.items():
+            if not outgoing:
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.DISAPPEAR,
+                        time=time,
+                        old_clusters=(old_id,),
+                        description=f"cluster {old_id} died",
+                    )
+                )
+            elif len(outgoing) >= 2:
+                targets = tuple(sorted((e.new_cluster for e in outgoing), key=str))
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.SPLIT,
+                        time=time,
+                        old_clusters=(old_id,),
+                        new_clusters=targets,
+                        overlap=sum(e.forward for e in outgoing),
+                        description=f"cluster {old_id} split into {len(targets)} clusters",
+                    )
+                )
+
+        # Births and merges from the new side.
+        for new_id, incoming in in_edges.items():
+            if not incoming:
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.EMERGE,
+                        time=time,
+                        new_clusters=(new_id,),
+                        description=f"cluster {new_id} was born",
+                    )
+                )
+            elif len(incoming) >= 2:
+                sources = tuple(sorted((e.old_cluster for e in incoming), key=str))
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.ABSORB,
+                        time=time,
+                        old_clusters=sources,
+                        new_clusters=(new_id,),
+                        overlap=min(e.forward for e in incoming),
+                        description=f"{len(sources)} clusters merged into {new_id}",
+                    )
+                )
+
+        # Survivals: 1-to-1 edges strong enough in the forward direction.
+        for old_id, outgoing in out_edges.items():
+            if len(outgoing) != 1:
+                continue
+            edge = outgoing[0]
+            if len(in_edges[edge.new_cluster]) != 1:
+                continue
+            if edge.forward >= self.survival_threshold:
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.SURVIVE,
+                        time=time,
+                        old_clusters=(old_id,),
+                        new_clusters=(edge.new_cluster,),
+                        overlap=edge.forward,
+                        description=f"cluster {old_id} survived as {edge.new_cluster}",
+                    )
+                )
+        return transitions
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def counts(self) -> Dict[str, int]:
+        """Number of recorded transitions per type."""
+        return transition_counts(self.transitions)
+
+    def transitions_of_type(self, transition_type: TransitionType) -> List[ExternalTransition]:
+        """Transitions of one type, in time order."""
+        return [t for t in self.transitions if t.transition_type == transition_type]

@@ -1,0 +1,348 @@
+"""MONIC — modelling and monitoring cluster transitions (Spiliopoulou et al. 2006).
+
+MONIC is the offline transition-detection procedure the paper cites as the
+way existing stream clusterers have to bolt evolution tracking on top of
+their (re-)clusterings.  It compares two clusterings ζ₁ (at t₁) and ζ₂
+(at t₂) through the *weighted overlap*
+
+    overlap(X, Y) = Σ_{x ∈ X ∩ Y} age(x, t₂) / Σ_{x ∈ X} age(x, t₂)
+
+and derives, per old cluster X:
+
+* **survival**   X → Y  when Y is the unique match with overlap ≥ τ_match,
+* **split**      X → {Y₁ … Yₖ} when several clusters each cover ≥ τ_split of
+  X and together cover ≥ τ_match,
+* **absorption** {X₁ … Xₖ} → Y when Y is the match of several old clusters,
+* **disappearance** when no (combination of) new clusters covers X,
+
+plus **emergence** for new clusters that match no old cluster, and internal
+transitions (size / compactness / location) for survived clusters.
+
+The implementation is snapshot-based and algorithm-agnostic: feed it
+:class:`~repro.tracking.transitions.ClusterSnapshot` objects (e.g. produced
+by :class:`~repro.tracking.adapter.SnapshotRecorder`) and read the
+transition log back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.tracking.transitions import (
+    ClusterSnapshot,
+    ExternalTransition,
+    InternalTransition,
+    TransitionType,
+    WeightedCluster,
+    transition_counts,
+)
+
+
+@dataclass
+class MonicConfig:
+    """Thresholds of the MONIC transition model.
+
+    Parameters
+    ----------
+    match_threshold:
+        τ_match — minimum weighted overlap for an old cluster to be matched
+        (survive into / be absorbed by) a new cluster, and for a set of
+        splinters to jointly count as a split.
+    split_threshold:
+        τ_split — minimum weighted overlap for a new cluster to count as one
+        of the splinters of an old cluster (τ_split ≤ τ_match).
+    size_epsilon:
+        Relative size change below which a survived cluster is *not*
+        reported as grown/shrunk.
+    compactness_epsilon:
+        Relative dispersion change below which no compactness transition is
+        reported.
+    shift_epsilon:
+        Absolute centroid displacement below which no location transition is
+        reported (same units as the data).
+    """
+
+    match_threshold: float = 0.5
+    split_threshold: float = 0.25
+    size_epsilon: float = 0.1
+    compactness_epsilon: float = 0.1
+    shift_epsilon: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.match_threshold <= 1.0:
+            raise ValueError(f"match_threshold must be in (0, 1], got {self.match_threshold}")
+        if not 0.0 < self.split_threshold <= self.match_threshold:
+            raise ValueError(
+                "split_threshold must be in (0, match_threshold], got "
+                f"{self.split_threshold} (match_threshold={self.match_threshold})"
+            )
+        if self.size_epsilon < 0 or self.compactness_epsilon < 0 or self.shift_epsilon < 0:
+            raise ValueError("epsilons must be non-negative")
+
+
+class MonicTracker:
+    """Detects MONIC external and internal transitions between snapshots."""
+
+    def __init__(self, config: Optional[MonicConfig] = None, **overrides) -> None:
+        if config is None:
+            config = MonicConfig(**overrides)
+        elif overrides:
+            config = MonicConfig(**{**config.__dict__, **overrides})
+        self.config = config
+        self.external_transitions: List[ExternalTransition] = []
+        self.internal_transitions: List[InternalTransition] = []
+        self._previous: Optional[ClusterSnapshot] = None
+
+    # ------------------------------------------------------------------ #
+    # observation API
+    # ------------------------------------------------------------------ #
+    def observe(self, snapshot: ClusterSnapshot) -> List[ExternalTransition]:
+        """Record a snapshot and return the external transitions it triggered."""
+        if self._previous is None:
+            transitions = [
+                ExternalTransition(
+                    transition_type=TransitionType.EMERGE,
+                    time=snapshot.time,
+                    new_clusters=(cluster.cluster_id,),
+                    overlap=0.0,
+                    description="initial cluster",
+                )
+                for cluster in snapshot
+            ]
+        else:
+            transitions = self._compare(self._previous, snapshot)
+        self.external_transitions.extend(transitions)
+        self._previous = snapshot
+        return transitions
+
+    def compare(
+        self, old: ClusterSnapshot, new: ClusterSnapshot
+    ) -> List[ExternalTransition]:
+        """Stateless comparison of two snapshots (does not touch the log)."""
+        return self._compare(old, new)
+
+    # ------------------------------------------------------------------ #
+    # MONIC core
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def overlap(old: WeightedCluster, new: WeightedCluster) -> float:
+        """Weighted overlap of ``old`` with ``new`` (normalised by old's weight)."""
+        total = old.total_weight
+        if total <= 0:
+            return 0.0
+        return old.overlap_weight(new) / total
+
+    def _compare(
+        self, old: ClusterSnapshot, new: ClusterSnapshot
+    ) -> List[ExternalTransition]:
+        cfg = self.config
+        time = new.time
+        transitions: List[ExternalTransition] = []
+
+        overlaps: Dict[Hashable, Dict[Hashable, float]] = {}
+        for old_cluster in old:
+            overlaps[old_cluster.cluster_id] = {
+                new_cluster.cluster_id: self.overlap(old_cluster, new_cluster)
+                for new_cluster in new
+            }
+
+        #: old cluster id -> new cluster id it survived into (if any)
+        survived_into: Dict[Hashable, Hashable] = {}
+        #: new cluster id -> old clusters matched to it
+        matched_by: Dict[Hashable, List[Hashable]] = {c.cluster_id: [] for c in new}
+        split_old: set = set()
+
+        for old_cluster in old:
+            row = overlaps[old_cluster.cluster_id]
+            if not row:
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.DISAPPEAR,
+                        time=time,
+                        old_clusters=(old_cluster.cluster_id,),
+                        description=f"cluster {old_cluster.cluster_id} disappeared",
+                    )
+                )
+                continue
+            best_new, best_overlap = max(row.items(), key=lambda kv: kv[1])
+            # Strictly greater than τ_match: an exactly even split (e.g. 50/50
+            # with the default τ_match = 0.5) must be reported as a split, not
+            # as a survival into an arbitrary half.
+            if best_overlap > cfg.match_threshold:
+                survived_into[old_cluster.cluster_id] = best_new
+                matched_by[best_new].append(old_cluster.cluster_id)
+                continue
+
+            # No single match: check for a split among the significant covers.
+            splinters = [
+                new_id for new_id, value in row.items() if value >= cfg.split_threshold
+            ]
+            joint = sum(row[new_id] for new_id in splinters)
+            if len(splinters) >= 2 and joint >= cfg.match_threshold:
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.SPLIT,
+                        time=time,
+                        old_clusters=(old_cluster.cluster_id,),
+                        new_clusters=tuple(sorted(splinters, key=str)),
+                        overlap=joint,
+                        description=(
+                            f"cluster {old_cluster.cluster_id} split into "
+                            f"{len(splinters)} clusters"
+                        ),
+                    )
+                )
+                split_old.add(old_cluster.cluster_id)
+                for new_id in splinters:
+                    matched_by[new_id].append(old_cluster.cluster_id)
+            else:
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.DISAPPEAR,
+                        time=time,
+                        old_clusters=(old_cluster.cluster_id,),
+                        overlap=best_overlap,
+                        description=f"cluster {old_cluster.cluster_id} disappeared",
+                    )
+                )
+
+        # Absorptions: several old clusters survived into the same new cluster.
+        absorbed_targets = set()
+        for new_id, contributors in matched_by.items():
+            survivors = [c for c in contributors if survived_into.get(c) == new_id]
+            if len(survivors) >= 2:
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.ABSORB,
+                        time=time,
+                        old_clusters=tuple(sorted(survivors, key=str)),
+                        new_clusters=(new_id,),
+                        overlap=min(
+                            overlaps[old_id][new_id] for old_id in survivors
+                        ),
+                        description=f"{len(survivors)} clusters absorbed into {new_id}",
+                    )
+                )
+                absorbed_targets.add(new_id)
+
+        # Pure survivals (single old cluster matched, not part of an absorption).
+        for old_id, new_id in survived_into.items():
+            if new_id in absorbed_targets:
+                continue
+            if len([c for c in matched_by[new_id] if survived_into.get(c) == new_id]) == 1:
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.SURVIVE,
+                        time=time,
+                        old_clusters=(old_id,),
+                        new_clusters=(new_id,),
+                        overlap=overlaps[old_id][new_id],
+                        description=f"cluster {old_id} survived as {new_id}",
+                    )
+                )
+                self.internal_transitions.extend(
+                    self._internal(old.cluster(old_id), new.cluster(new_id), time)
+                )
+
+        # Emergences: new clusters that matched no old cluster.
+        for new_cluster in new:
+            if not matched_by[new_cluster.cluster_id]:
+                transitions.append(
+                    ExternalTransition(
+                        transition_type=TransitionType.EMERGE,
+                        time=time,
+                        new_clusters=(new_cluster.cluster_id,),
+                        description=f"cluster {new_cluster.cluster_id} emerged",
+                    )
+                )
+        return transitions
+
+    # ------------------------------------------------------------------ #
+    # internal transitions
+    # ------------------------------------------------------------------ #
+    def _internal(
+        self, old: WeightedCluster, new: WeightedCluster, time: float
+    ) -> List[InternalTransition]:
+        cfg = self.config
+        transitions: List[InternalTransition] = []
+
+        old_size = old.total_weight
+        new_size = new.total_weight
+        if old_size > 0:
+            relative = (new_size - old_size) / old_size
+            if relative > cfg.size_epsilon:
+                transitions.append(
+                    InternalTransition(
+                        transition_type=TransitionType.GROW,
+                        time=time,
+                        old_cluster=old.cluster_id,
+                        new_cluster=new.cluster_id,
+                        magnitude=relative,
+                        description="cluster grew",
+                    )
+                )
+            elif relative < -cfg.size_epsilon:
+                transitions.append(
+                    InternalTransition(
+                        transition_type=TransitionType.SHRINK,
+                        time=time,
+                        old_cluster=old.cluster_id,
+                        new_cluster=new.cluster_id,
+                        magnitude=relative,
+                        description="cluster shrank",
+                    )
+                )
+
+        if old.dispersion is not None and new.dispersion is not None and old.dispersion > 0:
+            relative = (new.dispersion - old.dispersion) / old.dispersion
+            if relative < -cfg.compactness_epsilon:
+                transitions.append(
+                    InternalTransition(
+                        transition_type=TransitionType.MORE_COMPACT,
+                        time=time,
+                        old_cluster=old.cluster_id,
+                        new_cluster=new.cluster_id,
+                        magnitude=relative,
+                        description="cluster became more compact",
+                    )
+                )
+            elif relative > cfg.compactness_epsilon:
+                transitions.append(
+                    InternalTransition(
+                        transition_type=TransitionType.MORE_DIFFUSE,
+                        time=time,
+                        old_cluster=old.cluster_id,
+                        new_cluster=new.cluster_id,
+                        magnitude=relative,
+                        description="cluster became more diffuse",
+                    )
+                )
+
+        if old.centroid is not None and new.centroid is not None:
+            shift = sum((a - b) ** 2 for a, b in zip(old.centroid, new.centroid)) ** 0.5
+            if shift > cfg.shift_epsilon:
+                transitions.append(
+                    InternalTransition(
+                        transition_type=TransitionType.SHIFT,
+                        time=time,
+                        old_cluster=old.cluster_id,
+                        new_cluster=new.cluster_id,
+                        magnitude=shift,
+                        description="cluster centroid shifted",
+                    )
+                )
+        return transitions
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def counts(self) -> Dict[str, int]:
+        """Number of recorded external transitions per type."""
+        return transition_counts(self.external_transitions)
+
+    def transitions_of_type(self, transition_type: TransitionType) -> List[ExternalTransition]:
+        """External transitions of one type, in time order."""
+        return [
+            t for t in self.external_transitions if t.transition_type == transition_type
+        ]

@@ -1,0 +1,220 @@
+"""Shared types for offline cluster-transition tracking (MONIC / MEC).
+
+Both MONIC and MEC reason over *object-level* cluster snapshots: at each
+observation time a clustering assigns a set of objects (stream points, not
+cluster-cells) to clusters, and each object carries a weight.  MONIC uses an
+age-based weight so that recently-arrived objects dominate the overlap
+computation — here the weight is the exponential freshness of the decay
+model, which keeps the trackers consistent with the rest of the library.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+
+class TransitionType(enum.Enum):
+    """External and internal cluster transitions, following MONIC's taxonomy."""
+
+    # External transitions (between clusterings).
+    SURVIVE = "survive"
+    SPLIT = "split"
+    ABSORB = "absorb"
+    DISAPPEAR = "disappear"
+    EMERGE = "emerge"
+    # Internal transitions (within a surviving cluster).
+    GROW = "grow"
+    SHRINK = "shrink"
+    MORE_COMPACT = "more_compact"
+    MORE_DIFFUSE = "more_diffuse"
+    SHIFT = "shift"
+
+
+@dataclass(frozen=True)
+class WeightedCluster:
+    """One cluster of an object-level snapshot.
+
+    Parameters
+    ----------
+    cluster_id:
+        Identifier of the cluster within its snapshot (cluster ids do not
+        need to be stable across snapshots — matching is the tracker's job).
+    members:
+        Identifiers of the member objects.
+    weights:
+        Optional per-object weight (e.g. freshness).  Objects missing from
+        the mapping weigh 1.
+    centroid:
+        Optional numeric centroid, used for MONIC's internal location
+        transition.
+    dispersion:
+        Optional scalar spread measure (e.g. mean distance to centroid),
+        used for MONIC's internal compactness transition.
+    """
+
+    cluster_id: Hashable
+    members: FrozenSet[Hashable]
+    weights: Mapping[Hashable, float] = field(default_factory=dict)
+    centroid: Optional[Tuple[float, ...]] = None
+    dispersion: Optional[float] = None
+
+    def weight_of(self, member: Hashable) -> float:
+        """Weight of one member (1 when no explicit weight was recorded)."""
+        return float(self.weights.get(member, 1.0))
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the member weights."""
+        return sum(self.weight_of(m) for m in self.members)
+
+    def overlap_weight(self, other: "WeightedCluster") -> float:
+        """Summed weight (under *this* cluster's weights) of the shared members."""
+        return sum(self.weight_of(m) for m in self.members & other.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class ClusterSnapshot:
+    """A clustering of weighted objects observed at one point in time."""
+
+    time: float
+    clusters: List[WeightedCluster] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for cluster in self.clusters:
+            if cluster.cluster_id in seen:
+                raise ValueError(
+                    f"duplicate cluster id {cluster.cluster_id!r} in snapshot at t={self.time}"
+                )
+            seen.add(cluster.cluster_id)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def cluster(self, cluster_id: Hashable) -> WeightedCluster:
+        """Look up a cluster by id; raises ``KeyError`` if absent."""
+        for cluster in self.clusters:
+            if cluster.cluster_id == cluster_id:
+                return cluster
+        raise KeyError(f"no cluster {cluster_id!r} in snapshot at t={self.time}")
+
+    def cluster_ids(self) -> List[Hashable]:
+        """All cluster ids of the snapshot."""
+        return [c.cluster_id for c in self.clusters]
+
+    def all_members(self) -> FrozenSet[Hashable]:
+        """Union of all member sets."""
+        members: set = set()
+        for cluster in self.clusters:
+            members |= cluster.members
+        return frozenset(members)
+
+    @classmethod
+    def from_assignment(
+        cls,
+        time: float,
+        assignment: Mapping[Hashable, Hashable],
+        weights: Optional[Mapping[Hashable, float]] = None,
+        noise_label: Hashable = -1,
+        locations: Optional[Mapping[Hashable, Tuple[float, ...]]] = None,
+    ) -> "ClusterSnapshot":
+        """Build a snapshot from an object -> cluster-id assignment.
+
+        Objects assigned ``noise_label`` are excluded (they belong to no
+        cluster).  When ``locations`` is given, per-cluster centroids and
+        dispersions are computed so that MONIC's internal transitions can be
+        detected.
+        """
+        weights = weights or {}
+        members_by_cluster: Dict[Hashable, set] = {}
+        for obj, cluster_id in assignment.items():
+            if cluster_id == noise_label:
+                continue
+            members_by_cluster.setdefault(cluster_id, set()).add(obj)
+
+        clusters = []
+        for cluster_id, members in sorted(members_by_cluster.items(), key=lambda kv: str(kv[0])):
+            centroid = None
+            dispersion = None
+            if locations is not None:
+                located = [locations[m] for m in members if m in locations]
+                if located:
+                    dimension = len(located[0])
+                    centroid = tuple(
+                        sum(point[d] for point in located) / len(located)
+                        for d in range(dimension)
+                    )
+                    dispersion = sum(
+                        _euclidean(point, centroid) for point in located
+                    ) / len(located)
+            clusters.append(
+                WeightedCluster(
+                    cluster_id=cluster_id,
+                    members=frozenset(members),
+                    weights={m: float(weights[m]) for m in members if m in weights},
+                    centroid=centroid,
+                    dispersion=dispersion,
+                )
+            )
+        return cls(time=time, clusters=clusters)
+
+
+def _euclidean(a: Tuple[float, ...], b: Tuple[float, ...]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b)) ** 0.5
+
+
+@dataclass(frozen=True)
+class ExternalTransition:
+    """One external transition between two consecutive snapshots."""
+
+    transition_type: TransitionType
+    time: float
+    old_clusters: Tuple[Hashable, ...] = ()
+    new_clusters: Tuple[Hashable, ...] = ()
+    overlap: float = 0.0
+    description: str = ""
+
+    def __str__(self) -> str:
+        olds = ",".join(str(c) for c in self.old_clusters) or "-"
+        news = ",".join(str(c) for c in self.new_clusters) or "-"
+        return (
+            f"[t={self.time:.2f}] {self.transition_type.value}: "
+            f"{olds} -> {news} (overlap={self.overlap:.2f}) {self.description}"
+        )
+
+
+@dataclass(frozen=True)
+class InternalTransition:
+    """One internal transition of a cluster that survived between snapshots."""
+
+    transition_type: TransitionType
+    time: float
+    old_cluster: Hashable
+    new_cluster: Hashable
+    magnitude: float = 0.0
+    description: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"[t={self.time:.2f}] {self.transition_type.value}: "
+            f"{self.old_cluster} -> {self.new_cluster} "
+            f"(magnitude={self.magnitude:.3f}) {self.description}"
+        )
+
+
+def transition_counts(
+    transitions: Iterable[ExternalTransition],
+) -> Dict[str, int]:
+    """Number of external transitions per type (zero-filled for absent types)."""
+    counts = {t.value: 0 for t in TransitionType}
+    for transition in transitions:
+        counts[transition.transition_type.value] += 1
+    return counts

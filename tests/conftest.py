@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.stream import DataStream, stream_from_arrays
+
+
+@pytest.fixture
+def two_blob_points():
+    """Two well-separated 2-D Gaussian blobs (200 points, labels 0/1)."""
+    rng = np.random.default_rng(42)
+    blob_a = rng.normal((0.0, 0.0), 0.4, size=(100, 2))
+    blob_b = rng.normal((6.0, 6.0), 0.4, size=(100, 2))
+    values = np.vstack([blob_a, blob_b])
+    labels = np.asarray([0] * 100 + [1] * 100)
+    order = rng.permutation(200)
+    return values[order], labels[order]
+
+
+@pytest.fixture
+def two_blob_stream(two_blob_points) -> DataStream:
+    """The two blobs as a 1,000 pt/s stream."""
+    values, labels = two_blob_points
+    return stream_from_arrays(values, labels, rate=1000.0, name="two-blobs")
+
+
+@pytest.fixture
+def three_blob_stream() -> DataStream:
+    """Three separated blobs of different sizes as a stream."""
+    rng = np.random.default_rng(7)
+    blobs = [
+        rng.normal((0.0, 0.0), 0.3, size=(150, 2)),
+        rng.normal((5.0, 0.0), 0.3, size=(100, 2)),
+        rng.normal((2.5, 5.0), 0.3, size=(80, 2)),
+    ]
+    labels = np.concatenate([np.full(len(b), i) for i, b in enumerate(blobs)])
+    values = np.vstack(blobs)
+    order = rng.permutation(len(values))
+    return stream_from_arrays(values[order], labels[order], rate=1000.0, name="three-blobs")

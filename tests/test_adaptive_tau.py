@@ -1,0 +1,132 @@
+"""Tests for the adaptive τ machinery (Section 5)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.adaptive_tau import (
+    TauOptimizer,
+    candidate_taus,
+    evaluation_function,
+    suggest_initial_tau,
+)
+
+#: One anomalously long dependent distance (a second density mountain) plus
+#: many short intra-mountain links — the canonical two-cluster situation.
+TWO_CLUSTER_DELTAS = [6.0] + [0.5 + 0.01 * i for i in range(30)]
+
+
+class TestEvaluationFunction:
+    def test_rejects_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            evaluation_function(1.0, TWO_CLUSTER_DELTAS, alpha=0.0)
+
+    def test_infinite_when_no_intra_links(self):
+        assert evaluation_function(0.1, TWO_CLUSTER_DELTAS, 0.5) == math.inf
+
+    def test_infinite_when_no_inter_links(self):
+        assert evaluation_function(100.0, TWO_CLUSTER_DELTAS, 0.5) == math.inf
+
+    def test_ignores_non_finite_deltas(self):
+        deltas = TWO_CLUSTER_DELTAS + [math.inf, 0.0, -1.0]
+        assert evaluation_function(2.0, deltas, 0.5) == pytest.approx(
+            evaluation_function(2.0, TWO_CLUSTER_DELTAS, 0.5)
+        )
+
+    def test_natural_gap_beats_fragmentation(self):
+        # Cutting at the big gap should score better than cutting inside the
+        # bulk of short links (which fragments one mountain into many).
+        natural = evaluation_function(3.0, TWO_CLUSTER_DELTAS, 0.5)
+        fragmented = evaluation_function(0.55, TWO_CLUSTER_DELTAS, 0.5)
+        assert natural < fragmented
+
+    def test_empty_deltas_is_infinite(self):
+        assert evaluation_function(1.0, [], 0.5) == math.inf
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_value_is_non_negative(self, alpha):
+        value = evaluation_function(3.0, TWO_CLUSTER_DELTAS, alpha)
+        assert value >= 0.0
+
+
+class TestCandidateTaus:
+    def test_candidates_cover_every_partition(self):
+        deltas = [1.0, 2.0, 4.0]
+        candidates = candidate_taus(deltas)
+        # Between each consecutive pair plus one above the maximum and one
+        # below the minimum.
+        assert any(1.0 < c < 2.0 for c in candidates)
+        assert any(2.0 < c < 4.0 for c in candidates)
+        assert any(c > 4.0 for c in candidates)
+
+    def test_empty_for_no_finite_deltas(self):
+        assert candidate_taus([math.inf, -1.0]) == []
+
+    def test_duplicates_are_collapsed(self):
+        candidates = candidate_taus([1.0, 1.0, 1.0])
+        assert len(candidates) >= 1
+
+
+class TestTauOptimizer:
+    def test_optimize_requires_alpha(self):
+        with pytest.raises(RuntimeError):
+            TauOptimizer().optimize(TWO_CLUSTER_DELTAS)
+
+    def test_optimize_finds_the_gap(self):
+        optimizer = TauOptimizer(alpha=0.5)
+        tau = optimizer.optimize(TWO_CLUSTER_DELTAS)
+        assert 0.8 < tau < 6.0
+
+    def test_optimize_records_history(self):
+        optimizer = TauOptimizer(alpha=0.5)
+        optimizer.optimize(TWO_CLUSTER_DELTAS, time=3.0)
+        assert optimizer.history == [(3.0, pytest.approx(optimizer.history[0][1]))]
+
+    def test_optimize_rejects_empty_deltas(self):
+        with pytest.raises(ValueError):
+            TauOptimizer(alpha=0.5).optimize([])
+
+    def test_learn_alpha_reproduces_the_users_tau(self):
+        optimizer = TauOptimizer()
+        alpha = optimizer.learn_alpha(tau0=3.0, deltas=TWO_CLUSTER_DELTAS)
+        assert 0.0 < alpha < 1.0
+        # With the learned alpha, re-optimising should land near tau0's
+        # partition (i.e. still separate the two mountains).
+        tau = optimizer.optimize(TWO_CLUSTER_DELTAS)
+        assert 0.8 < tau < 6.0
+
+    def test_learn_alpha_handles_degenerate_deltas(self):
+        optimizer = TauOptimizer()
+        alpha = optimizer.learn_alpha(tau0=1.0, deltas=[])
+        assert alpha == 0.5
+
+    def test_learn_alpha_rejects_invalid_tau0(self):
+        with pytest.raises(ValueError):
+            TauOptimizer().learn_alpha(tau0=0.0, deltas=TWO_CLUSTER_DELTAS)
+
+
+class TestSuggestInitialTau:
+    def test_picks_the_largest_relative_gap(self):
+        tau = suggest_initial_tau(TWO_CLUSTER_DELTAS)
+        assert 0.8 < tau < 6.0
+
+    def test_respects_min_peaks(self):
+        deltas = [10.0, 8.0, 1.0, 0.9, 0.8]
+        # With min_peaks=3, tau must keep at least two non-root deltas above
+        # it (two non-root peaks + the root = 3 clusters).
+        tau = suggest_initial_tau(deltas, min_peaks=3)
+        assert tau < 8.0
+
+    def test_single_delta(self):
+        assert suggest_initial_tau([4.0]) == pytest.approx(2.0)
+
+    def test_empty_deltas(self):
+        assert suggest_initial_tau([]) == 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=2, max_size=40)
+    )
+    def test_tau_always_within_delta_range(self, deltas):
+        tau = suggest_initial_tau(deltas)
+        assert min(deltas) <= tau <= max(deltas) * 1.01

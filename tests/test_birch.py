@@ -1,0 +1,191 @@
+"""Tests for the BIRCH baseline and its CF-Tree substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.birch import Birch, CFTree, ClusteringFeature
+
+
+class TestClusteringFeature:
+    def test_from_point(self):
+        cf = ClusteringFeature.from_point((1.0, 2.0))
+        assert cf.n == 1
+        assert tuple(cf.linear_sum) == (1.0, 2.0)
+        assert cf.square_sum == pytest.approx(5.0)
+        assert cf.radius == pytest.approx(0.0)
+
+    def test_additivity(self):
+        a = ClusteringFeature.from_point((0.0, 0.0))
+        b = ClusteringFeature.from_point((2.0, 0.0))
+        merged = a.merged(b)
+        assert merged.n == 2
+        assert tuple(merged.centroid) == (1.0, 0.0)
+        assert merged.radius == pytest.approx(1.0)
+        # The original features are untouched.
+        assert a.n == 1 and b.n == 1
+
+    def test_diameter_of_two_points(self):
+        a = ClusteringFeature.from_point((0.0,))
+        b = ClusteringFeature.from_point((3.0,))
+        assert a.merged(b).diameter == pytest.approx(3.0)
+
+    def test_empty_feature_is_identity(self):
+        empty = ClusteringFeature.empty(2)
+        point = ClusteringFeature.from_point((4.0, 5.0))
+        merged = empty.merged(point)
+        assert merged.n == 1
+        assert tuple(merged.centroid) == (4.0, 5.0)
+
+    def test_centroid_distance(self):
+        a = ClusteringFeature.from_point((0.0, 0.0))
+        b = ClusteringFeature.from_point((3.0, 4.0))
+        assert a.centroid_distance(b) == pytest.approx(5.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_merged_cf_matches_direct_statistics(self, points):
+        cf = ClusteringFeature.empty(2)
+        for point in points:
+            cf.add(ClusteringFeature.from_point(point))
+        matrix = np.asarray(points, dtype=float)
+        assert cf.n == len(points)
+        assert cf.centroid == pytest.approx(matrix.mean(axis=0), abs=1e-6)
+        expected_radius = math.sqrt(
+            max(0.0, float((matrix ** 2).sum(axis=1).mean() - matrix.mean(axis=0) @ matrix.mean(axis=0)))
+        )
+        # The incremental SS - N·c² form loses precision for tight clusters at
+        # large coordinates (catastrophic cancellation before the sqrt), so
+        # compare with an absolute tolerance appropriate for that error.
+        assert cf.radius == pytest.approx(expected_radius, abs=1e-3)
+
+
+class TestCFTree:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CFTree(threshold=0.0)
+        with pytest.raises(ValueError):
+            CFTree(threshold=1.0, branching_factor=1)
+
+    def test_close_points_absorbed_into_one_entry(self):
+        tree = CFTree(threshold=1.0)
+        for i in range(20):
+            tree.insert((0.01 * i, 0.0))
+        assert tree.n_leaf_entries == 1
+        assert tree.n_points == 20
+
+    def test_far_points_create_separate_entries(self):
+        tree = CFTree(threshold=0.5)
+        tree.insert((0.0, 0.0))
+        tree.insert((10.0, 0.0))
+        tree.insert((20.0, 0.0))
+        assert tree.n_leaf_entries == 3
+
+    def test_leaf_split_and_height_growth(self):
+        tree = CFTree(threshold=0.1, branching_factor=3, max_leaf_entries=3)
+        for i in range(20):
+            tree.insert((float(i * 5), 0.0))
+        assert tree.height > 1
+        assert tree.n_splits > 0
+        assert tree.n_leaf_entries == 20
+
+    def test_total_count_is_preserved_in_leaves(self):
+        rng = np.random.default_rng(0)
+        tree = CFTree(threshold=0.5, branching_factor=4, max_leaf_entries=4)
+        points = rng.normal(0.0, 3.0, size=(300, 2))
+        for point in points:
+            tree.insert(point)
+        total = sum(cf.n for _, cf in tree.leaf_entries())
+        assert total == pytest.approx(300)
+
+    def test_dimension_mismatch_rejected(self):
+        tree = CFTree(threshold=1.0)
+        tree.insert((0.0, 0.0))
+        with pytest.raises(ValueError):
+            tree.insert((0.0, 0.0, 0.0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=2, max_value=6))
+    def test_node_capacities_respected(self, branching, leaf_capacity):
+        rng = np.random.default_rng(branching * 13 + leaf_capacity)
+        tree = CFTree(
+            threshold=0.2, branching_factor=branching, max_leaf_entries=leaf_capacity
+        )
+        for point in rng.uniform(-10, 10, size=(120, 2)):
+            tree.insert(point)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert len(node) <= leaf_capacity
+            else:
+                assert len(node) <= branching
+                assert len(node.children) == len(node.features)
+                stack.extend(node.children)
+
+
+class TestBirchClusterer:
+    def _two_blob_points(self, n=150, seed=3):
+        rng = np.random.default_rng(seed)
+        a = rng.normal((0.0, 0.0), 0.3, size=(n, 2))
+        b = rng.normal((8.0, 8.0), 0.3, size=(n, 2))
+        return a, b
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Birch(n_macro_clusters=0)
+        with pytest.raises(ValueError):
+            Birch(macro_merge_factor=0.0)
+
+    def test_two_blobs_agglomerative(self):
+        a, b = self._two_blob_points()
+        model = Birch(threshold=0.8)
+        for point in np.vstack([a, b]):
+            model.learn_one(point)
+        model.request_clustering()
+        assert model.n_clusters == 2
+        assert model.predict_one((0.0, 0.0)) != model.predict_one((8.0, 8.0))
+
+    def test_two_blobs_kmeans_offline(self):
+        a, b = self._two_blob_points()
+        model = Birch(threshold=0.8, n_macro_clusters=2)
+        for point in np.vstack([a, b]):
+            model.learn_one(point)
+        assert model.n_clusters == 2
+        assert model.predict_one((0.1, -0.1)) != model.predict_one((7.9, 8.1))
+
+    def test_points_in_same_blob_share_label(self):
+        a, b = self._two_blob_points()
+        model = Birch(threshold=0.8)
+        for point in np.vstack([a, b]):
+            model.learn_one(point)
+        labels = {model.predict_one(tuple(p)) for p in a[:20]}
+        assert len(labels) == 1
+
+    def test_empty_model_predicts_outlier(self):
+        model = Birch()
+        assert model.predict_one((0.0, 0.0)) == -1
+        assert model.n_clusters == 0
+
+    def test_structural_statistics(self):
+        a, b = self._two_blob_points(n=100)
+        model = Birch(threshold=0.5, branching_factor=4, max_leaf_entries=4)
+        for point in np.vstack([a, b]):
+            model.learn_one(point)
+        assert model.n_leaf_entries >= 2
+        assert model.tree_height >= 1
+
+    def test_learn_one_returns_point_count(self):
+        model = Birch()
+        assert model.learn_one((0.0, 0.0)) == 1
+        assert model.learn_one((0.1, 0.1)) == 2

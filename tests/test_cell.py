@@ -1,0 +1,73 @@
+"""Tests for the cluster-cell summary structure (Definition 4)."""
+
+import pytest
+
+from repro.core.cell import ClusterCell
+from repro.core.decay import DecayModel
+
+
+@pytest.fixture
+def decay() -> DecayModel:
+    return DecayModel(a=0.5, lam=1.0)  # fast decay makes the arithmetic obvious
+
+
+class TestDensityMaintenance:
+    def test_new_cell_has_unit_density(self):
+        cell = ClusterCell(seed=(0.0, 0.0))
+        assert cell.density == 1.0
+        assert cell.points_absorbed == 1
+
+    def test_density_at_decays_lazily(self, decay):
+        cell = ClusterCell(seed=(0.0, 0.0), density=8.0, last_update=0.0)
+        assert cell.density_at(3.0, decay) == pytest.approx(1.0)
+        # The stored value is untouched until refresh/absorb.
+        assert cell.density == 8.0
+
+    def test_density_at_does_not_undecay_on_clock_skew(self, decay):
+        cell = ClusterCell(seed=(0.0,), density=4.0, last_update=10.0)
+        assert cell.density_at(5.0, decay) == 4.0
+
+    def test_refresh_updates_stored_density(self, decay):
+        cell = ClusterCell(seed=(0.0,), density=8.0, last_update=0.0)
+        cell.refresh(1.0, decay)
+        assert cell.density == pytest.approx(4.0)
+        assert cell.last_update == 1.0
+
+    def test_absorb_follows_equation_8(self, decay):
+        cell = ClusterCell(seed=(0.0,), density=8.0, last_update=0.0)
+        cell.absorb(1.0, decay)
+        assert cell.density == pytest.approx(4.0 + 1.0)
+        assert cell.last_absorb == 1.0
+        assert cell.points_absorbed == 2
+
+    def test_absorb_with_weight(self, decay):
+        cell = ClusterCell(seed=(0.0,), density=2.0, last_update=0.0)
+        cell.absorb(0.0, decay, weight=0.5)
+        assert cell.density == pytest.approx(2.5)
+
+
+class TestBookkeeping:
+    def test_label_votes_and_majority(self, decay):
+        cell = ClusterCell(seed=(0.0,))
+        cell.absorb(1.0, decay, label=3)
+        cell.absorb(2.0, decay, label=3)
+        cell.absorb(3.0, decay, label=5)
+        assert cell.majority_label() == 3
+
+    def test_majority_label_none_without_votes(self):
+        assert ClusterCell(seed=(0.0,)).majority_label() is None
+
+    def test_idle_time(self):
+        cell = ClusterCell(seed=(0.0,), last_absorb=10.0)
+        assert cell.idle_time(14.0) == pytest.approx(4.0)
+        assert cell.idle_time(5.0) == 0.0
+
+    def test_cell_ids_are_unique(self):
+        a = ClusterCell(seed=(0.0,))
+        b = ClusterCell(seed=(1.0,))
+        assert a.cell_id != b.cell_id
+
+    def test_default_dependency_is_root_like(self):
+        cell = ClusterCell(seed=(0.0,))
+        assert cell.dependency is None
+        assert cell.delta == float("inf")

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses_options(self):
+        args = build_parser().parse_args(["run", "fig15", "--points", "500"])
+        assert args.command == "run"
+        assert args.experiment == "fig15"
+        assert args.points == 500
+
+    def test_unknown_experiment_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_every_paper_artifact_has_an_entry(self):
+        assert {"table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig13", "fig14", "fig15", "fig16", "fig17", "ablation"} <= set(EXPERIMENTS)
+
+
+class TestExecution:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in output
+
+    def test_run_experiment_by_id(self):
+        result = run_experiment("table2", points=300)
+        assert result.experiment_id == "table2"
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope")
+
+    def test_run_command_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        code = main(["run", "fig15", "--points", "4000", "--output", str(target)])
+        assert code == 0
+        assert target.exists()
+        assert "dynamic" in target.read_text()
+
+    def test_run_command_prints_to_stdout(self, capsys):
+        assert main(["run", "table2", "--points", "300"]) == 0
+        assert "Datasets" in capsys.readouterr().out

@@ -1,0 +1,149 @@
+"""Tests for the exponential decay model (Section 3.1, Equations 3-8)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.decay import DecayModel, equivalent_lambda
+
+
+class TestDecayModelConstruction:
+    def test_default_parameters_match_paper(self):
+        model = DecayModel()
+        assert model.a == 0.998
+        assert model.lam == 1.0
+
+    def test_rate_is_a_to_the_lambda(self):
+        model = DecayModel(a=0.5, lam=2.0)
+        assert model.rate == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("a", [0.0, 1.0, 1.5, -0.1])
+    def test_invalid_base_rejected(self, a):
+        with pytest.raises(ValueError):
+            DecayModel(a=a)
+
+    @pytest.mark.parametrize("lam", [0.0, -1.0])
+    def test_invalid_lambda_rejected(self, lam):
+        with pytest.raises(ValueError):
+            DecayModel(lam=lam)
+
+
+class TestFreshness:
+    def test_fresh_point_has_freshness_one(self):
+        model = DecayModel()
+        assert model.freshness(5.0, 5.0) == pytest.approx(1.0)
+
+    def test_freshness_decreases_over_time(self):
+        model = DecayModel()
+        assert model.freshness(0.0, 10.0) < model.freshness(0.0, 1.0)
+
+    def test_freshness_formula(self):
+        model = DecayModel(a=0.9, lam=2.0)
+        assert model.freshness(0.0, 3.0) == pytest.approx(0.9 ** 6)
+
+    def test_freshness_rejects_time_before_arrival(self):
+        model = DecayModel()
+        with pytest.raises(ValueError):
+            model.freshness(10.0, 5.0)
+
+    @given(st.floats(min_value=0.0, max_value=500.0))
+    def test_freshness_always_in_unit_interval(self, elapsed):
+        model = DecayModel()
+        value = model.freshness(0.0, elapsed)
+        assert 0.0 < value <= 1.0
+
+
+class TestDensityUpdates:
+    def test_absorb_matches_equation_8(self):
+        model = DecayModel(a=0.998, lam=1.0)
+        # rho_{t+1} = a^(lambda*dt) * rho_t + 1
+        assert model.absorb(10.0, 2.0) == pytest.approx(0.998 ** 2 * 10.0 + 1.0)
+
+    def test_absorb_with_zero_elapsed_adds_one(self):
+        model = DecayModel()
+        assert model.absorb(3.0, 0.0) == pytest.approx(4.0)
+
+    def test_decay_density_is_multiplicative(self):
+        model = DecayModel(a=0.5, lam=1.0)
+        assert model.decay_density(8.0, 3.0) == pytest.approx(1.0)
+
+    def test_decay_rejects_negative_elapsed(self):
+        model = DecayModel()
+        with pytest.raises(ValueError):
+            model.decay_density(1.0, -1.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e6),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_decay_composes(self, density, t1, t2):
+        model = DecayModel()
+        once = model.decay_density(density, t1 + t2)
+        twice = model.decay_density(model.decay_density(density, t1), t2)
+        assert once == pytest.approx(twice, rel=1e-9, abs=1e-9)
+
+
+class TestThresholds:
+    def test_total_weight_matches_geometric_series(self):
+        model = DecayModel(a=0.998, lam=1.0)
+        assert model.total_weight(1000.0) == pytest.approx(1000.0 / (1.0 - 0.998))
+
+    def test_active_threshold_is_beta_times_total_weight(self):
+        model = DecayModel(a=0.998, lam=1.0)
+        threshold = model.active_threshold(0.0021, 1000.0)
+        assert threshold == pytest.approx(0.0021 * model.total_weight(1000.0))
+
+    def test_active_threshold_paper_value(self):
+        # beta=0.0021, v=1000, a^lambda=0.998 -> threshold = 1050
+        model = DecayModel(a=0.998, lam=1.0)
+        assert model.active_threshold(0.0021, 1000.0) == pytest.approx(1050.0)
+
+    def test_beta_lower_bound(self):
+        model = DecayModel(a=0.998, lam=1.0)
+        assert model.beta_lower_bound(1000.0) == pytest.approx((1.0 - 0.998) / 1000.0)
+
+    def test_active_threshold_rejects_bad_beta(self):
+        model = DecayModel()
+        with pytest.raises(ValueError):
+            model.active_threshold(1.5, 1000.0)
+
+    def test_total_weight_rejects_bad_rate(self):
+        model = DecayModel()
+        with pytest.raises(ValueError):
+            model.total_weight(0.0)
+
+    def test_safe_deletion_interval_lets_threshold_decay_below_one(self):
+        # After delta_T_del a cell at the active threshold has density < 1.
+        model = DecayModel(a=0.998, lam=1.0)
+        beta, rate = 0.0021, 1000.0
+        interval = model.safe_deletion_interval(beta, rate)
+        threshold = model.active_threshold(beta, rate)
+        assert model.decay_density(threshold, interval) <= 1.0 + 1e-6
+
+    def test_safe_deletion_interval_positive(self):
+        model = DecayModel()
+        assert model.safe_deletion_interval(0.0021, 1000.0) > 0
+
+    def test_half_life(self):
+        model = DecayModel(a=0.5, lam=1.0)
+        assert model.half_life() == pytest.approx(1.0)
+
+
+class TestEquivalentLambda:
+    def test_denstream_alignment(self):
+        # DenStream fixes a = 2; the paper uses lambda = 0.0028 to match 0.998.
+        lam = equivalent_lambda(2.0, 0.998)
+        assert 2.0 ** lam == pytest.approx(0.998)
+        assert lam == pytest.approx(-0.00289, abs=1e-4)
+
+    def test_mrstream_alignment(self):
+        lam = equivalent_lambda(1.002, 0.998)
+        assert 1.002 ** lam == pytest.approx(0.998)
+
+    def test_rejects_invalid_targets(self):
+        with pytest.raises(ValueError):
+            equivalent_lambda(1.0, 0.998)
+        with pytest.raises(ValueError):
+            equivalent_lambda(2.0, 1.5)

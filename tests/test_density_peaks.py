@@ -1,0 +1,153 @@
+"""Tests for batch Density Peaks clustering (Section 2.1) and the decision graph."""
+
+import numpy as np
+import pytest
+
+from repro.dp import DecisionGraph, DensityPeaks, decision_graph_from_result
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(11)
+    a = rng.normal((0.0, 0.0), 0.3, size=(80, 2))
+    b = rng.normal((5.0, 5.0), 0.3, size=(80, 2))
+    data = np.vstack([a, b])
+    labels = np.asarray([0] * 80 + [1] * 80)
+    return data, labels
+
+
+class TestDensityPeaks:
+    def test_two_blobs_two_clusters(self, blobs):
+        data, labels = blobs
+        result = DensityPeaks(n_clusters=2, dc=0.5).fit(data)
+        assert result.n_clusters == 2
+        # Points in the same blob share a label; the two blobs differ.
+        assert result.labels[0] == result.labels[5]
+        assert result.labels[0] != result.labels[100]
+
+    def test_tau_based_peak_selection(self, blobs):
+        data, _ = blobs
+        result = DensityPeaks(tau=2.0, dc=0.5).fit(data)
+        assert result.n_clusters == 2
+
+    def test_labels_follow_the_dependency_chain(self, blobs):
+        data, _ = blobs
+        result = DensityPeaks(n_clusters=2, dc=0.5).fit(data)
+        for i in range(len(data)):
+            parent = result.dependency[i]
+            if parent == -1 or result.labels[i] == -1 or i in result.peaks:
+                # Peaks start their own cluster even though their dependency
+                # points into another density mountain (that is what makes
+                # them peaks).
+                continue
+            assert result.labels[i] == result.labels[parent]
+
+    def test_global_peak_has_max_delta(self, blobs):
+        data, _ = blobs
+        result = DensityPeaks(n_clusters=2, dc=0.5).fit(data)
+        top = int(np.argmax(result.rho))
+        assert result.dependency[top] == -1
+        assert result.delta[top] == pytest.approx(result.delta.max())
+
+    def test_dependency_points_to_denser_point(self, blobs):
+        data, _ = blobs
+        result = DensityPeaks(n_clusters=2, dc=0.5).fit(data)
+        for i, parent in enumerate(result.dependency):
+            if parent >= 0:
+                assert result.rho[parent] >= result.rho[i]
+
+    def test_outliers_marked_with_xi(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal((0, 0), 0.2, size=(100, 2))
+        isolated = np.asarray([[50.0, 50.0]])
+        data = np.vstack([dense, isolated])
+        result = DensityPeaks(n_clusters=1, xi=0.5, dc=1.0).fit(data)
+        assert result.labels[-1] == -1
+
+    def test_gaussian_kernel(self, blobs):
+        data, _ = blobs
+        result = DensityPeaks(n_clusters=2, kernel="gaussian", dc=0.5).fit(data)
+        assert result.n_clusters == 2
+        assert np.all(result.rho >= 0)
+
+    def test_members_helper(self, blobs):
+        data, _ = blobs
+        result = DensityPeaks(n_clusters=2, dc=0.5).fit(data)
+        total = sum(len(result.members(peak)) for peak in result.peaks)
+        assert total == np.sum(result.labels != -1)
+
+    def test_empty_input(self):
+        result = DensityPeaks(n_clusters=2).fit(np.empty((0, 2)))
+        assert result.n_clusters == 0
+        assert result.labels.size == 0
+
+    def test_fit_predict_matches_fit(self, blobs):
+        data, _ = blobs
+        clusterer = DensityPeaks(n_clusters=2, dc=0.5)
+        assert np.array_equal(clusterer.fit_predict(data), clusterer.fit(data).labels)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DensityPeaks(dc=-1.0)
+        with pytest.raises(ValueError):
+            DensityPeaks(kernel="box")
+        with pytest.raises(ValueError):
+            DensityPeaks(n_clusters=0)
+        with pytest.raises(ValueError):
+            DensityPeaks(dc_percentile=0.0)
+
+
+class TestDecisionGraph:
+    def test_peaks_selection(self):
+        graph = DecisionGraph(rho=[10.0, 8.0, 1.0], delta=[5.0, 4.0, 0.1])
+        assert graph.peaks(xi=0.5, tau=1.0) == [0, 1]
+        assert graph.n_peaks(xi=0.5, tau=4.5) == 1
+
+    def test_gamma_ranking(self):
+        graph = DecisionGraph(rho=[10.0, 2.0, 8.0], delta=[5.0, 0.1, 4.0])
+        assert graph.gamma_ranking()[0] == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionGraph(rho=[1.0], delta=[1.0, 2.0])
+
+    def test_render_produces_ascii(self):
+        graph = DecisionGraph(rho=[10.0, 8.0, 1.0], delta=[5.0, 4.0, 0.1])
+        art = graph.render(width=30, height=10, tau=2.0)
+        assert "*" in art and "-" in art and "rho" in art
+
+    def test_render_empty(self):
+        assert "empty" in DecisionGraph(rho=[], delta=[]).render()
+
+    def test_from_density_peaks_result(self):
+        rng = np.random.default_rng(1)
+        data = np.vstack(
+            [rng.normal((0, 0), 0.3, size=(50, 2)), rng.normal((4, 4), 0.3, size=(50, 2))]
+        )
+        result = DensityPeaks(n_clusters=2, dc=0.5).fit(data)
+        graph = decision_graph_from_result(result)
+        assert len(graph) == 100
+        suggested = graph.suggest_tau()
+        assert suggested > 0
+
+
+class TestAgreementWithEDMStream:
+    def test_static_data_gives_same_macro_structure(self, two_blob_points):
+        """On a static, well-separated dataset the streaming DP-Tree clustering
+        and the batch DP clustering must find the same two groups."""
+        from repro import EDMStream
+
+        values, labels = two_blob_points
+        batch = DensityPeaks(n_clusters=2, dc=0.5).fit(values)
+
+        model = EDMStream(radius=0.5, init_size=50, beta=0.001, stream_rate=1000.0)
+        for i, row in enumerate(values):
+            model.learn_one(tuple(row), timestamp=i / 1000.0)
+        assert model.n_clusters == 2
+
+        # Both assign the two blob centres to different clusters.
+        stream_a = model.predict_one((0.0, 0.0))
+        stream_b = model.predict_one((6.0, 6.0))
+        batch_a = batch.labels[np.argmin(np.linalg.norm(values - np.asarray([0.0, 0.0]), axis=1))]
+        batch_b = batch.labels[np.argmin(np.linalg.norm(values - np.asarray([6.0, 6.0]), axis=1))]
+        assert (stream_a != stream_b) and (batch_a != batch_b)

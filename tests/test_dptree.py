@@ -1,0 +1,163 @@
+"""Tests for the DP-Tree (Section 2.2, Definition 2)."""
+
+import math
+
+import pytest
+
+from repro.core.cell import ClusterCell
+from repro.core.dptree import DPTree
+
+
+def make_cell(seed, density):
+    return ClusterCell(seed=seed, density=density)
+
+
+@pytest.fixture
+def chain_tree():
+    """A small tree:  root(10) <- a(5) <- b(3);  root <- c(4) with a weak link."""
+    tree = DPTree()
+    root = make_cell((0.0, 0.0), 10.0)
+    a = make_cell((1.0, 0.0), 5.0)
+    b = make_cell((1.5, 0.0), 3.0)
+    c = make_cell((9.0, 0.0), 4.0)
+    for cell in (root, a, b, c):
+        tree.insert(cell)
+    tree.set_dependency(a.cell_id, root.cell_id, 1.0)
+    tree.set_dependency(b.cell_id, a.cell_id, 0.5)
+    tree.set_dependency(c.cell_id, root.cell_id, 9.0)
+    return tree, root, a, b, c
+
+
+class TestStructure:
+    def test_insert_and_contains(self):
+        tree = DPTree()
+        cell = make_cell((0.0,), 1.0)
+        tree.insert(cell)
+        assert cell.cell_id in tree
+        assert len(tree) == 1
+        assert tree.get(cell.cell_id) is cell
+
+    def test_duplicate_insert_rejected(self):
+        tree = DPTree()
+        cell = make_cell((0.0,), 1.0)
+        tree.insert(cell)
+        with pytest.raises(KeyError):
+            tree.insert(cell)
+
+    def test_insert_with_dangling_dependency_becomes_root(self):
+        tree = DPTree()
+        cell = make_cell((0.0,), 1.0)
+        cell.dependency = 424242  # does not exist
+        cell.delta = 1.0
+        tree.insert(cell)
+        assert cell.dependency is None
+        assert cell.delta == math.inf
+
+    def test_set_dependency_links_parent_and_child(self, chain_tree):
+        tree, root, a, b, c = chain_tree
+        assert a.cell_id in tree.children_of(root.cell_id)
+        assert b.cell_id in tree.children_of(a.cell_id)
+
+    def test_set_dependency_moves_child_between_parents(self, chain_tree):
+        tree, root, a, b, c = chain_tree
+        tree.set_dependency(b.cell_id, root.cell_id, 1.5)
+        assert b.cell_id in tree.children_of(root.cell_id)
+        assert b.cell_id not in tree.children_of(a.cell_id)
+
+    def test_self_dependency_rejected(self, chain_tree):
+        tree, root, *_ = chain_tree
+        with pytest.raises(ValueError):
+            tree.set_dependency(root.cell_id, root.cell_id, 0.0)
+
+    def test_dependency_on_unknown_cell_rejected(self, chain_tree):
+        tree, root, *_ = chain_tree
+        with pytest.raises(KeyError):
+            tree.set_dependency(root.cell_id, 999999, 1.0)
+
+    def test_remove_detaches_and_orphans_children(self, chain_tree):
+        tree, root, a, b, c = chain_tree
+        removed = tree.remove(a.cell_id)
+        assert removed is a
+        assert a.cell_id not in tree
+        # b was a child of a; it becomes a root until recomputed.
+        assert b.dependency is None
+        assert b.delta == math.inf
+        assert a.cell_id not in tree.children_of(root.cell_id)
+
+    def test_remove_unknown_cell_raises(self):
+        tree = DPTree()
+        with pytest.raises(KeyError):
+            tree.remove(12345)
+
+    def test_subtree_ids(self, chain_tree):
+        tree, root, a, b, c = chain_tree
+        assert set(tree.subtree_ids(a.cell_id)) == {a.cell_id, b.cell_id}
+        assert set(tree.subtree_ids(root.cell_id)) == {
+            root.cell_id,
+            a.cell_id,
+            b.cell_id,
+            c.cell_id,
+        }
+
+    def test_depth(self, chain_tree):
+        tree, *_ = chain_tree
+        assert tree.depth() == 3
+
+    def test_validate_passes_on_consistent_tree(self, chain_tree):
+        tree, *_ = chain_tree
+        tree.validate()
+
+
+class TestClusterExtraction:
+    def test_single_cluster_when_all_links_strong(self, chain_tree):
+        tree, root, a, b, c = chain_tree
+        clusters = tree.clusters(tau=100.0)
+        assert len(clusters) == 1
+        assert set(clusters[root.cell_id]) == {root.cell_id, a.cell_id, b.cell_id, c.cell_id}
+
+    def test_weak_link_splits_cluster(self, chain_tree):
+        tree, root, a, b, c = chain_tree
+        clusters = tree.clusters(tau=5.0)  # c's delta (9.0) is weak
+        assert len(clusters) == 2
+        assert set(clusters[root.cell_id]) == {root.cell_id, a.cell_id, b.cell_id}
+        assert set(clusters[c.cell_id]) == {c.cell_id}
+
+    def test_every_cell_assigned_exactly_once(self, chain_tree):
+        tree, *_ = chain_tree
+        clusters = tree.clusters(tau=1.0)
+        members = [cid for cluster in clusters.values() for cid in cluster]
+        assert sorted(members) == sorted(tree.cell_ids())
+
+    def test_num_clusters_matches_weak_link_count_plus_roots(self, chain_tree):
+        tree, root, a, b, c = chain_tree
+        # tau below every delta: every cell is its own cluster.
+        assert tree.num_clusters(0.1) == 4
+        assert tree.num_clusters(0.75) == 3
+        assert tree.num_clusters(2.0) == 2
+        assert tree.num_clusters(10.0) == 1
+
+    def test_cluster_assignment_consistent_with_clusters(self, chain_tree):
+        tree, *_ = chain_tree
+        clusters = tree.clusters(tau=5.0)
+        assignment = tree.cluster_assignment(tau=5.0)
+        for root_id, members in clusters.items():
+            for member in members:
+                assert assignment[member] == root_id
+
+    def test_empty_tree(self):
+        tree = DPTree()
+        assert tree.clusters(1.0) == {}
+        assert tree.num_clusters(1.0) == 0
+        assert tree.depth() == 0
+        assert tree.deltas() == []
+
+    def test_deltas_excludes_roots(self, chain_tree):
+        tree, *_ = chain_tree
+        assert sorted(tree.deltas()) == [0.5, 1.0, 9.0]
+
+    def test_cluster_root_is_the_msdsubtree_root(self, chain_tree):
+        tree, root, a, b, c = chain_tree
+        clusters = tree.clusters(tau=5.0)
+        # Definition 2: the root of an MSDSubTree is that cluster's centre.
+        assert root.cell_id in clusters
+        assert c.cell_id in clusters

@@ -1,0 +1,167 @@
+"""Tests for the concept-drift stream generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streams.drift import (
+    GaussianMixture,
+    RBFDriftGenerator,
+    abrupt_drift_stream,
+    gradual_drift_stream,
+)
+
+
+class TestRBFDriftGenerator:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RBFDriftGenerator(n_points=0)
+        with pytest.raises(ValueError):
+            RBFDriftGenerator(n_kernels=0)
+        with pytest.raises(ValueError):
+            RBFDriftGenerator(dimension=0)
+        with pytest.raises(ValueError):
+            RBFDriftGenerator(noise_fraction=1.0)
+        with pytest.raises(ValueError):
+            RBFDriftGenerator(bounds=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            RBFDriftGenerator(drift_speed=-0.1)
+
+    def test_stream_shape(self):
+        stream = RBFDriftGenerator(n_points=500, n_kernels=3, dimension=4, seed=1).generate()
+        assert len(stream) == 500
+        assert stream.dimension == 4
+        labels = {p.label for p in stream}
+        assert labels <= set(range(3))
+
+    def test_timestamps_follow_rate(self):
+        stream = RBFDriftGenerator(n_points=100, rate=100.0, seed=2).generate()
+        assert stream[1].timestamp - stream[0].timestamp == pytest.approx(0.01)
+        assert stream.duration == pytest.approx(0.99)
+
+    def test_reproducible_with_seed(self):
+        a = RBFDriftGenerator(n_points=200, seed=7).generate()
+        b = RBFDriftGenerator(n_points=200, seed=7).generate()
+        assert all(pa.values == pb.values for pa, pb in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        a = RBFDriftGenerator(n_points=200, seed=7).generate()
+        b = RBFDriftGenerator(n_points=200, seed=8).generate()
+        assert any(pa.values != pb.values for pa, pb in zip(a, b))
+
+    def test_noise_points_are_labelled_minus_one(self):
+        stream = RBFDriftGenerator(n_points=2000, noise_fraction=0.2, seed=3).generate()
+        noise = sum(1 for p in stream if p.label == -1)
+        assert 200 < noise < 700
+
+    def test_drift_moves_cluster_centroids(self):
+        generator = RBFDriftGenerator(
+            n_points=4000, n_kernels=2, drift_speed=2.0, kernel_std=0.05, seed=4
+        )
+        stream = generator.generate()
+        early = np.asarray([p.as_tuple() for p in stream.points[:500] if p.label == 0])
+        late = np.asarray([p.as_tuple() for p in stream.points[-500:] if p.label == 0])
+        assert early.size and late.size
+        assert np.linalg.norm(early.mean(axis=0) - late.mean(axis=0)) > 0.5
+
+    def test_zero_drift_keeps_centroids(self):
+        generator = RBFDriftGenerator(
+            n_points=4000, n_kernels=1, drift_speed=0.0, kernel_std=0.05, seed=5
+        )
+        stream = generator.generate()
+        early = np.asarray([p.as_tuple() for p in stream.points[:500]])
+        late = np.asarray([p.as_tuple() for p in stream.points[-500:]])
+        assert np.linalg.norm(early.mean(axis=0) - late.mean(axis=0)) < 0.1
+
+    def test_points_bounce_inside_bounds(self):
+        generator = RBFDriftGenerator(
+            n_points=3000, n_kernels=3, drift_speed=5.0, kernel_std=0.01,
+            bounds=(0.0, 4.0), seed=6,
+        )
+        stream = generator.generate()
+        matrix = stream.values_matrix()
+        # Kernel centres stay inside the domain; points may stick out by a
+        # few standard deviations only.
+        assert matrix.min() > -1.0
+        assert matrix.max() < 5.0
+
+
+class TestGaussianMixture:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(centers=[])
+        with pytest.raises(ValueError):
+            GaussianMixture(centers=[(0.0,)], weights=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            GaussianMixture(centers=[(0.0,)], labels=[0, 1])
+
+    def test_sample_label_defaults_to_component_index(self):
+        mixture = GaussianMixture(centers=[(0.0, 0.0), (10.0, 10.0)], std=0.01)
+        rng = np.random.default_rng(0)
+        values, label = mixture.sample(rng)
+        assert label in (0, 1)
+        center = (0.0, 0.0) if label == 0 else (10.0, 10.0)
+        assert np.linalg.norm(np.asarray(values) - center) < 1.0
+
+    def test_explicit_labels_and_weights(self):
+        mixture = GaussianMixture(
+            centers=[(0.0,), (5.0,)], std=0.01, weights=[1.0, 0.0], labels=[7, 9]
+        )
+        rng = np.random.default_rng(1)
+        labels = {mixture.sample(rng)[1] for _ in range(20)}
+        assert labels == {7}
+
+
+class TestAbruptDrift:
+    def test_drift_point_validation(self):
+        before = GaussianMixture(centers=[(0.0, 0.0)])
+        after = GaussianMixture(centers=[(5.0, 5.0)])
+        with pytest.raises(ValueError):
+            abrupt_drift_stream(before, after, drift_point=0.0)
+
+    def test_concept_switches_at_drift_point(self):
+        before = GaussianMixture(centers=[(0.0, 0.0)], std=0.05)
+        after = GaussianMixture(centers=[(10.0, 10.0)], std=0.05, labels=[1])
+        stream = abrupt_drift_stream(before, after, n_points=1000, drift_point=0.5, seed=0)
+        first_half = np.asarray([p.as_tuple() for p in stream.points[:500]])
+        second_half = np.asarray([p.as_tuple() for p in stream.points[500:]])
+        assert np.linalg.norm(first_half.mean(axis=0)) < 1.0
+        assert np.linalg.norm(second_half.mean(axis=0) - (10.0, 10.0)) < 1.0
+
+    def test_labels_follow_concepts(self):
+        before = GaussianMixture(centers=[(0.0, 0.0)], labels=[0])
+        after = GaussianMixture(centers=[(10.0, 10.0)], labels=[1])
+        stream = abrupt_drift_stream(before, after, n_points=100, drift_point=0.3, seed=1)
+        assert {p.label for p in stream.points[:30]} == {0}
+        assert {p.label for p in stream.points[30:]} == {1}
+
+
+class TestGradualDrift:
+    def test_window_validation(self):
+        mixture = GaussianMixture(centers=[(0.0,)])
+        with pytest.raises(ValueError):
+            gradual_drift_stream(mixture, mixture, drift_start=0.7, drift_end=0.3)
+
+    def test_mixture_proportion_shifts_over_time(self):
+        before = GaussianMixture(centers=[(0.0, 0.0)], std=0.05, labels=[0])
+        after = GaussianMixture(centers=[(10.0, 10.0)], std=0.05, labels=[1])
+        stream = gradual_drift_stream(
+            before, after, n_points=3000, drift_start=0.2, drift_end=0.8, seed=2
+        )
+        first = [p.label for p in stream.points[:600]]
+        middle = [p.label for p in stream.points[1400:1600]]
+        last = [p.label for p in stream.points[-600:]]
+        assert set(first) == {0}
+        assert set(last) == {1}
+        middle_fraction = sum(middle) / len(middle)
+        assert 0.2 < middle_fraction < 0.8
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=100, max_value=500), st.integers(min_value=0, max_value=1000))
+    def test_stream_length_and_monotone_timestamps(self, n_points, seed):
+        before = GaussianMixture(centers=[(0.0, 0.0)])
+        after = GaussianMixture(centers=[(3.0, 3.0)])
+        stream = gradual_drift_stream(before, after, n_points=n_points, seed=seed)
+        assert len(stream) == n_points
+        timestamps = [p.timestamp for p in stream]
+        assert all(t2 >= t1 for t1, t2 in zip(timestamps, timestamps[1:]))

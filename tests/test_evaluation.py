@@ -1,0 +1,173 @@
+"""Tests for the external quality metrics and CMM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation import (
+    CMM,
+    adjusted_rand_index,
+    contingency_table,
+    f_measure,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+)
+
+
+class TestPurityAndFMeasure:
+    def test_perfect_clustering(self):
+        truth = [0, 0, 1, 1]
+        assert purity(truth, [5, 5, 9, 9]) == 1.0
+        assert f_measure(truth, [5, 5, 9, 9]) == 1.0
+
+    def test_single_cluster_purity(self):
+        assert purity([0, 0, 1, 1], [0, 0, 0, 0]) == 0.5
+
+    def test_purity_ignore_noise(self):
+        truth = [0, 0, 1, 1]
+        # One class-1 point clustered with the class-0 points, one unassigned.
+        predicted = [7, 7, 7, -1]
+        assert purity(truth, predicted, ignore_noise=True) == pytest.approx(2.0 / 3.0)
+        # Without ignoring noise the outlier bucket counts as its own cluster.
+        assert purity(truth, predicted) == pytest.approx(0.75)
+
+    def test_f_measure_degenerate_cases(self):
+        assert f_measure([0], [0]) == 0.0  # fewer than 2 points
+        assert f_measure([0, 1], [0, 1]) == 0.0  # no same-cluster pairs predicted... or truth
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            purity([0, 1], [0])
+
+    def test_contingency_table(self):
+        table = contingency_table([0, 0, 1], ["a", "a", "b"])
+        assert table["a"][0] == 2
+        assert table["b"][1] == 1
+
+
+class TestRandAndNMI:
+    def test_perfect_agreement(self):
+        truth = [0, 0, 1, 1, 2, 2]
+        predicted = [4, 4, 5, 5, 6, 6]
+        assert rand_index(truth, predicted) == 1.0
+        assert adjusted_rand_index(truth, predicted) == pytest.approx(1.0)
+        assert normalized_mutual_information(truth, predicted) == pytest.approx(1.0)
+
+    def test_ari_is_near_zero_for_random_labels(self):
+        rng = np.random.default_rng(0)
+        truth = list(rng.integers(0, 3, size=300))
+        predicted = list(rng.integers(0, 3, size=300))
+        assert abs(adjusted_rand_index(truth, predicted)) < 0.1
+
+    def test_rand_index_known_value(self):
+        # Classic example: truth {a,a,b,b}, predicted {x,y,x,y} -> RI = 1/3.
+        assert rand_index([0, 0, 1, 1], [0, 1, 0, 1]) == pytest.approx(1.0 / 3.0)
+
+    def test_single_point_edge_cases(self):
+        assert rand_index([0], [1]) == 1.0
+        assert adjusted_rand_index([0], [1]) == 1.0
+
+    def test_nmi_bounds(self):
+        assert 0.0 <= normalized_mutual_information([0, 0, 1, 1], [0, 1, 0, 1]) <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40))
+    def test_metrics_are_permutation_invariant_in_cluster_ids(self, truth):
+        predicted = [(label + 1) % 4 for label in truth]  # relabelled copy of truth
+        assert adjusted_rand_index(truth, predicted) == pytest.approx(1.0)
+        assert normalized_mutual_information(truth, predicted) == pytest.approx(1.0)
+        assert purity(truth, predicted) == 1.0
+
+
+class TestCMM:
+    @pytest.fixture
+    def separated_window(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal((0.0, 0.0), 0.3, size=(40, 2))
+        b = rng.normal((5.0, 5.0), 0.3, size=(40, 2))
+        points = np.vstack([a, b])
+        truth = [0] * 40 + [1] * 40
+        return points, truth
+
+    def test_perfect_clustering_scores_one(self, separated_window):
+        points, truth = separated_window
+        predicted = [10 if t == 0 else 20 for t in truth]
+        result = CMM().evaluate(points, truth, predicted)
+        assert result.value == 1.0
+        assert result.n_faults == 0
+
+    def test_all_points_missed_scores_zero(self, separated_window):
+        points, truth = separated_window
+        predicted = [-1] * len(truth)
+        result = CMM().evaluate(points, truth, predicted)
+        assert result.value == pytest.approx(0.0)
+        assert result.n_missed == len(truth)
+
+    def test_misplaced_points_reduce_the_score(self, separated_window):
+        points, truth = separated_window
+        predicted = [10 if t == 0 else 20 for t in truth]
+        # Move ten class-0 points into the cluster mapped to class 1.
+        for i in range(10):
+            predicted[i] = 20
+        result = CMM().evaluate(points, truth, predicted)
+        assert result.n_misplaced == 10
+        assert 0.0 < result.value < 1.0
+
+    def test_noise_inclusion_penalised(self, separated_window):
+        points, truth = separated_window
+        points = np.vstack([points, [[2.5, 2.5]]])
+        truth = truth + [-1]
+        predicted = [10 if t == 0 else 20 for t in truth[:-1]] + [10]
+        result = CMM().evaluate(points, truth, predicted)
+        assert result.n_noise_inclusion == 1
+        assert result.value < 1.0
+
+    def test_correctly_ignored_noise_is_free(self, separated_window):
+        points, truth = separated_window
+        points = np.vstack([points, [[50.0, 50.0]]])
+        truth = truth + [-1]
+        predicted = [10 if t == 0 else 20 for t in truth[:-1]] + [-1]
+        assert CMM().evaluate(points, truth, predicted).value == 1.0
+
+    def test_faults_on_recent_objects_cost_more_than_on_stale_objects(self, separated_window):
+        points, truth = separated_window
+        n = len(truth)
+        # Case A: the missed object is old (its freshness weight is tiny).
+        predicted_old = [10 if t == 0 else 20 for t in truth]
+        predicted_old[0] = -1
+        fault_on_old = CMM(decay_lambda=1000.0).evaluate(
+            points, truth, predicted_old, timestamps=[0.0] + [1.0] * (n - 1), now=1.0
+        )
+        # Case B: the missed object is the most recent one (full weight).
+        predicted_recent = [10 if t == 0 else 20 for t in truth]
+        predicted_recent[-1] = -1
+        fault_on_recent = CMM(decay_lambda=1000.0).evaluate(
+            points, truth, predicted_recent, timestamps=[0.0] * (n - 1) + [1.0], now=1.0
+        )
+        assert fault_on_recent.value <= fault_on_old.value
+        assert fault_on_old.value > 0.9
+
+    def test_empty_window_scores_one(self):
+        assert CMM().evaluate([], [], []).value == 1.0
+
+    def test_length_mismatch_rejected(self, separated_window):
+        points, truth = separated_window
+        with pytest.raises(ValueError):
+            CMM().evaluate(points, truth, [0])
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            CMM(k=0)
+
+    def test_call_shorthand_returns_float(self, separated_window):
+        points, truth = separated_window
+        predicted = [10 if t == 0 else 20 for t in truth]
+        assert CMM()(points, truth, predicted) == 1.0
+
+    def test_value_always_in_unit_interval(self, separated_window):
+        points, truth = separated_window
+        rng = np.random.default_rng(0)
+        predicted = list(rng.choice([10, 20, -1], size=len(truth)))
+        value = CMM().evaluate(points, truth, predicted).value
+        assert 0.0 <= value <= 1.0

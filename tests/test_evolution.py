@@ -1,0 +1,121 @@
+"""Tests for the cluster-evolution tracker (Table 1)."""
+
+import pytest
+
+from repro.core.evolution import ClusterEvent, EvolutionTracker, EvolutionType
+
+
+def partition(**clusters):
+    """Build a partition dict from keyword arguments: a={1,2}, b={3}, ..."""
+    return {name: frozenset(members) for name, members in clusters.items()}
+
+
+class TestBasicObservations:
+    def test_first_observation_emits_initial_emerge_events(self):
+        tracker = EvolutionTracker()
+        events = tracker.observe(0.0, {1: frozenset({10, 11}), 2: frozenset({20})})
+        assert {e.event_type for e in events} == {EvolutionType.EMERGE}
+        assert len(events) == 2
+
+    def test_unchanged_partition_emits_nothing(self):
+        tracker = EvolutionTracker()
+        p = {1: frozenset({10, 11}), 2: frozenset({20, 21})}
+        tracker.observe(0.0, p)
+        events = tracker.observe(1.0, p)
+        assert events == []
+
+    def test_invalid_overlap_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            EvolutionTracker(overlap_threshold=0.0)
+        with pytest.raises(ValueError):
+            EvolutionTracker(overlap_threshold=1.5)
+
+
+class TestEvolutionTypes:
+    def test_emerge(self):
+        tracker = EvolutionTracker()
+        tracker.observe(0.0, partition(a={1, 2}))
+        events = tracker.observe(1.0, partition(a={1, 2}, b={30, 31}))
+        types = {e.event_type for e in events}
+        assert EvolutionType.EMERGE in types
+        emerge = [e for e in events if e.event_type == EvolutionType.EMERGE][0]
+        assert emerge.new_clusters == ("b",)
+
+    def test_disappear(self):
+        tracker = EvolutionTracker()
+        tracker.observe(0.0, partition(a={1, 2}, b={3, 4}))
+        events = tracker.observe(1.0, partition(a={1, 2}))
+        disappear = [e for e in events if e.event_type == EvolutionType.DISAPPEAR]
+        assert len(disappear) == 1
+        assert disappear[0].old_clusters == ("b",)
+
+    def test_merge(self):
+        tracker = EvolutionTracker()
+        tracker.observe(0.0, partition(a={1, 2, 3}, b={4, 5, 6}))
+        events = tracker.observe(1.0, partition(c={1, 2, 3, 4, 5, 6}))
+        merges = [e for e in events if e.event_type == EvolutionType.MERGE]
+        assert len(merges) == 1
+        assert set(merges[0].old_clusters) == {"a", "b"}
+        assert merges[0].new_clusters == ("c",)
+
+    def test_split(self):
+        tracker = EvolutionTracker()
+        tracker.observe(0.0, partition(a={1, 2, 3, 4, 5, 6}))
+        events = tracker.observe(1.0, partition(b={1, 2, 3}, c={4, 5, 6}))
+        splits = [e for e in events if e.event_type == EvolutionType.SPLIT]
+        assert len(splits) == 1
+        assert splits[0].old_clusters == ("a",)
+        assert set(splits[0].new_clusters) == {"b", "c"}
+
+    def test_adjust_on_cell_movement(self):
+        tracker = EvolutionTracker()
+        tracker.observe(0.0, partition(a={1, 2, 3, 4}, b={5, 6, 7, 8}))
+        # cell 4 moves from cluster a to cluster b; both clusters survive.
+        events = tracker.observe(1.0, partition(a={1, 2, 3}, b={4, 5, 6, 7, 8}))
+        adjusts = [e for e in events if e.event_type == EvolutionType.ADJUST]
+        assert adjusts
+        assert any(4 in e.moved_cells for e in adjusts)
+
+    def test_survivals_recorded_only_when_requested(self):
+        tracker = EvolutionTracker(record_survivals=True)
+        tracker.observe(0.0, partition(a={1, 2}))
+        events = tracker.observe(1.0, partition(a={1, 2, 3}))
+        assert any(e.event_type == EvolutionType.SURVIVE for e in events)
+
+
+class TestReporting:
+    def test_counts(self):
+        tracker = EvolutionTracker()
+        tracker.observe(0.0, partition(a={1, 2, 3}, b={4, 5, 6}))
+        tracker.observe(1.0, partition(c={1, 2, 3, 4, 5, 6}))
+        counts = tracker.counts()
+        assert counts["merge"] == 1
+        assert counts["emerge"] == 2  # the two initial clusters
+
+    def test_events_of_type(self):
+        tracker = EvolutionTracker()
+        tracker.observe(0.0, partition(a={1}))
+        tracker.observe(1.0, partition())
+        assert len(tracker.events_of_type(EvolutionType.DISAPPEAR)) == 1
+
+    def test_lifespans_track_first_and_last_seen(self):
+        tracker = EvolutionTracker()
+        tracker.observe(0.0, partition(a={1, 2}))
+        tracker.observe(5.0, partition(a={1, 2}))
+        assert tracker.lifespans["a"] == (0.0, 5.0)
+
+    def test_timeline_is_flat_and_ordered(self):
+        tracker = EvolutionTracker()
+        tracker.observe(0.0, partition(a={1, 2}))
+        tracker.observe(1.0, partition(a={1, 2}, b={9, 10}))
+        timeline = tracker.timeline()
+        assert all(len(entry) == 3 for entry in timeline)
+        assert [t for t, _, _ in timeline] == sorted(t for t, _, _ in timeline)
+
+    def test_event_string_rendering(self):
+        event = ClusterEvent(
+            event_type=EvolutionType.MERGE, time=3.0, old_clusters=(1, 2), new_clusters=(3,)
+        )
+        text = str(event)
+        assert "merge" in text
+        assert "1,2" in text

@@ -1,0 +1,92 @@
+"""Tests for the dependency-update filters (Theorems 1 and 2)."""
+
+import pytest
+
+from repro.core.filters import DependencyFilter, FilterStatistics
+
+
+@pytest.fixture
+def dependency_filter() -> DependencyFilter:
+    f = DependencyFilter()
+    # The absorbing cell c' had density 5 before and 6 after absorbing a point
+    # that lies at distance 2 from its seed.
+    f.begin_event(rho_absorber_before=5.0, rho_absorber_after=6.0, point_to_absorber_distance=2.0)
+    return f
+
+
+class TestDensityFilter:
+    def test_candidate_already_below_absorber_is_skipped(self, dependency_filter):
+        # Theorem 1, first case: rho_c < rho_c' before the absorption.
+        assert dependency_filter.skip_by_density(rho_candidate=4.0)
+
+    def test_candidate_still_above_absorber_is_skipped(self, dependency_filter):
+        # Theorem 1, second case: rho_c >= rho_c' after the absorption.
+        assert dependency_filter.skip_by_density(rho_candidate=7.0)
+
+    def test_candidate_newly_dominated_is_not_skipped(self, dependency_filter):
+        # rho_before <= rho_c < rho_after: the absorber newly entered F_c.
+        assert not dependency_filter.skip_by_density(rho_candidate=5.5)
+
+    def test_disabled_filter_never_skips(self):
+        f = DependencyFilter(enable_density_filter=False)
+        f.begin_event(5.0, 6.0, 2.0)
+        assert not f.skip_by_density(4.0)
+
+
+class TestTriangleFilter:
+    def test_far_candidate_is_skipped(self, dependency_filter):
+        # | |p,s_c| - |p,s_c'| | = |10 - 2| = 8 > delta_c = 3  =>  skip.
+        assert dependency_filter.skip_by_triangle(point_to_candidate=10.0, candidate_delta=3.0)
+
+    def test_near_candidate_is_not_skipped(self, dependency_filter):
+        # |3 - 2| = 1 <= delta_c = 3  =>  must examine.
+        assert not dependency_filter.skip_by_triangle(point_to_candidate=3.0, candidate_delta=3.0)
+
+    def test_root_candidate_never_skipped(self, dependency_filter):
+        assert not dependency_filter.skip_by_triangle(10.0, float("inf"))
+
+    def test_disabled_filter_never_skips(self):
+        f = DependencyFilter(enable_triangle_filter=False)
+        f.begin_event(5.0, 6.0, 2.0)
+        assert not f.skip_by_triangle(100.0, 0.1)
+
+    def test_triangle_filter_is_safe(self, dependency_filter):
+        """If the filter skips, the seed distance provably exceeds delta."""
+        # By the triangle inequality |s_c, s_c'| >= | |p,s_c| - |p,s_c'| |,
+        # so a skipped candidate's current dependency cannot be displaced.
+        point_to_candidate, delta = 10.0, 3.0
+        assert dependency_filter.skip_by_triangle(point_to_candidate, delta)
+        seed_distance_lower_bound = abs(point_to_candidate - 2.0)
+        assert seed_distance_lower_bound > delta
+
+
+class TestCombinedCheckAndStatistics:
+    def test_should_update_counts_each_outcome(self, dependency_filter):
+        assert dependency_filter.should_update(5.5, 2.5, 3.0) is True
+        assert dependency_filter.should_update(4.0, 2.5, 3.0) is False  # density filtered
+        assert dependency_filter.should_update(5.5, 50.0, 3.0) is False  # triangle filtered
+        stats = dependency_filter.stats
+        assert stats.candidates == 3
+        assert stats.density_filtered == 1
+        assert stats.triangle_filtered == 1
+        assert stats.filtered == 2
+
+    def test_filter_rate(self):
+        stats = FilterStatistics(candidates=10, density_filtered=6, triangle_filtered=2)
+        assert stats.filter_rate == pytest.approx(0.8)
+
+    def test_filter_rate_with_no_candidates(self):
+        assert FilterStatistics().filter_rate == 0.0
+
+    def test_reset(self):
+        stats = FilterStatistics(candidates=5, density_filtered=3)
+        stats.reset()
+        assert stats.candidates == 0
+        assert stats.density_filtered == 0
+
+    def test_as_dict_round_trip(self):
+        stats = FilterStatistics(candidates=4, density_filtered=1, triangle_filtered=1,
+                                 distance_computations=2, dependency_changes=1)
+        payload = stats.as_dict()
+        assert payload["candidates"] == 4
+        assert payload["filter_rate"] == pytest.approx(0.5)

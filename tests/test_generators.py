@@ -1,0 +1,151 @@
+"""Tests for the workload generators (SDS, HDS, surrogates, news)."""
+
+import numpy as np
+import pytest
+
+from repro.distance import TokenSetPoint, jaccard_distance
+from repro.streams import (
+    HDSGenerator,
+    NewsStreamGenerator,
+    SDSGenerator,
+    covertype_surrogate,
+    kddcup99_surrogate,
+    make_hds_stream,
+    make_news_stream,
+    make_sds_stream,
+    pamap2_surrogate,
+)
+from repro.streams.real import dataset_catalog
+
+
+class TestSDS:
+    def test_size_rate_and_dimension(self):
+        stream = SDSGenerator(n_points=2000, rate=1000.0, seed=1).generate()
+        assert len(stream) == 2000
+        assert stream.dimension == 2
+        assert stream.duration == pytest.approx(1.999)
+
+    def test_deterministic_given_seed(self):
+        a = SDSGenerator(n_points=500, seed=9).generate()
+        b = SDSGenerator(n_points=500, seed=9).generate()
+        assert [p.values for p in a] == [p.values for p in b]
+
+    def test_two_clusters_at_the_start(self):
+        stream = SDSGenerator(n_points=4000, seed=1).generate()
+        early = [p for p in stream if p.timestamp < 1.0 and p.label in (0, 1)]
+        xs_left = [p.values[0] for p in early if p.label == 0]
+        xs_right = [p.values[0] for p in early if p.label == 1]
+        assert np.mean(xs_left) < np.mean(xs_right)
+
+    def test_emergent_cluster_appears_only_after_12s(self):
+        stream = SDSGenerator(n_points=20000, seed=1).generate()
+        label2_times = [p.timestamp for p in stream if p.label == 2]
+        assert min(label2_times) >= 12.0
+
+    def test_merged_cluster_gone_after_14s(self):
+        stream = SDSGenerator(n_points=20000, seed=1).generate()
+        late_old = [p for p in stream if p.timestamp > 14.5 and p.label in (0, 1)]
+        assert late_old == []
+
+    def test_snapshot_times_match_figure6(self):
+        assert SDSGenerator().snapshot_times() == [1.0, 4.0, 8.0, 12.0, 14.0, 20.0]
+
+    def test_convenience_constructor(self):
+        assert len(make_sds_stream(n_points=100)) == 100
+
+
+class TestHDS:
+    @pytest.mark.parametrize("dimension", [10, 30])
+    def test_dimension_and_cluster_count(self, dimension):
+        stream = HDSGenerator(dimension=dimension, n_points=1000, seed=2).generate()
+        assert stream.dimension == dimension
+        labels = {p.label for p in stream if p.label is not None and p.label >= 0}
+        assert len(labels) <= 20
+        assert len(labels) >= 10
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            HDSGenerator(dimension=0).generate()
+
+    def test_paper_radius_table(self):
+        assert HDSGenerator.paper_radius(10) == 60.0
+        assert HDSGenerator.paper_radius(1000) == 70.0
+        assert 60.0 <= HDSGenerator.paper_radius(50) <= 70.0
+
+    def test_convenience_constructor(self):
+        stream = make_hds_stream(dimension=10, n_points=200)
+        assert len(stream) == 200
+
+
+class TestRealSurrogates:
+    def test_kddcup_shape_and_imbalance(self):
+        stream = kddcup99_surrogate(n_points=3000, seed=1)
+        assert stream.dimension == 34
+        labels = [p.label for p in stream if p.label >= 0]
+        counts = np.bincount(labels)
+        # Heavy imbalance: the most common class dominates.
+        assert counts.max() > 5 * max(1, counts[counts > 0].min())
+
+    def test_kddcup_contains_noise(self):
+        stream = kddcup99_surrogate(n_points=3000, seed=1)
+        assert any(p.label == -1 for p in stream)
+
+    def test_covertype_shape(self):
+        stream = covertype_surrogate(n_points=2000, seed=2)
+        assert stream.dimension == 54
+        labels = {p.label for p in stream if p.label >= 0}
+        assert labels <= set(range(7))
+
+    def test_covertype_dominant_classes_overlap(self):
+        stream = covertype_surrogate(n_points=4000, seed=2)
+        matrix = stream.values_matrix()
+        labels = np.asarray([p.label for p in stream])
+        center0 = matrix[labels == 0].mean(axis=0)
+        center1 = matrix[labels == 1].mean(axis=0)
+        center2 = matrix[labels == 2].mean(axis=0)
+        assert np.linalg.norm(center0 - center1) < np.linalg.norm(center0 - center2)
+
+    def test_pamap2_sessions_are_contiguous(self):
+        stream = pamap2_surrogate(n_points=5000, seed=3)
+        labels = [p.label for p in stream]
+        changes = sum(1 for a, b in zip(labels, labels[1:]) if a != b)
+        assert changes < 20  # long sessions, few switches
+
+    def test_pamap2_dimension(self):
+        assert pamap2_surrogate(n_points=500).dimension == 51
+
+    def test_dataset_catalog_lists_all_table2_rows(self):
+        names = {row["name"] for row in dataset_catalog()}
+        assert {"SDS", "NADS", "KDDCUP99", "CoverType", "PAMAP2"} <= names
+
+
+class TestNewsStream:
+    def test_points_are_token_sets(self):
+        stream = make_news_stream(n_points=200, seed=4)
+        assert isinstance(stream[0].values, TokenSetPoint)
+        assert len(stream) == 200
+
+    def test_topics_have_distinct_vocabulary(self):
+        generator = NewsStreamGenerator(n_points=500, seed=4)
+        stream = generator.generate()
+        chromecast = [p for p in stream if p.label == 0]
+        apple = [p for p in stream if p.label == 3]
+        if chromecast and apple:
+            distance = jaccard_distance(chromecast[0].values, apple[0].values)
+            assert distance > 0.5
+
+    def test_smartwatch_topic_only_after_day_12(self):
+        generator = NewsStreamGenerator(n_points=3000, seed=4)
+        stream = generator.generate()
+        days = [generator.day_of(p) for p in stream if p.label == 2]
+        assert min(days) >= 12.0
+
+    def test_expected_events_table(self):
+        events = NewsStreamGenerator().expected_events()
+        assert {e["type"] for e in events} == {"merge", "split"}
+        assert len(events) == 4
+
+    def test_deterministic_given_seed(self):
+        a = make_news_stream(n_points=300, seed=6)
+        b = make_news_stream(n_points=300, seed=6)
+        assert [p.values.tokens for p in a] == [p.values.tokens for p in b]

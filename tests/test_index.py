@@ -1,0 +1,149 @@
+"""Tests for the nearest-seed indexes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distance import jaccard_distance
+from repro.index import BruteForceIndex, GridIndex
+
+
+class TestBruteForceIndex:
+    def test_insert_nearest_within(self):
+        index = BruteForceIndex()
+        index.insert("a", (0.0, 0.0))
+        index.insert("b", (5.0, 0.0))
+        assert index.nearest((1.0, 0.0)) == ("a", pytest.approx(1.0))
+        assert [k for k, _ in index.within((0.0, 0.0), 1.5)] == ["a"]
+        assert index.nearest_key((4.4, 0.0)) == "b"
+
+    def test_duplicate_key_rejected(self):
+        index = BruteForceIndex()
+        index.insert("a", (0.0,))
+        with pytest.raises(KeyError):
+            index.insert("a", (1.0,))
+
+    def test_remove(self):
+        index = BruteForceIndex()
+        index.insert("a", (0.0,))
+        index.remove("a")
+        assert len(index) == 0
+        assert index.nearest((0.0,)) is None
+        with pytest.raises(KeyError):
+            index.remove("a")
+
+    def test_contains_len_keys(self):
+        index = BruteForceIndex()
+        index.insert("a", (0.0,))
+        index.insert("b", (1.0,))
+        assert "a" in index and "c" not in index
+        assert len(index) == 2
+        assert set(index.keys()) == {"a", "b"}
+
+    def test_custom_metric_jaccard(self):
+        index = BruteForceIndex(metric=jaccard_distance)
+        index.insert("tech", frozenset({"google", "android"}))
+        index.insert("sport", frozenset({"football", "goal"}))
+        key, distance = index.nearest(frozenset({"google", "pixel"}))
+        assert key == "tech"
+        assert distance < 1.0
+
+    def test_location(self):
+        index = BruteForceIndex()
+        index.insert("a", (2.0, 3.0))
+        assert index.location("a") == (2.0, 3.0)
+
+
+class TestGridIndex:
+    def test_invalid_cell_width(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_width=0.0)
+
+    def test_nearest_simple(self):
+        index = GridIndex(cell_width=1.0)
+        index.insert("a", (0.0, 0.0))
+        index.insert("b", (10.0, 10.0))
+        key, distance = index.nearest((0.4, 0.4))
+        assert key == "a"
+        assert distance == pytest.approx(math.hypot(0.4, 0.4))
+
+    def test_within_radius(self):
+        index = GridIndex(cell_width=1.0)
+        index.insert("a", (0.0, 0.0))
+        index.insert("b", (0.9, 0.0))
+        index.insert("c", (5.0, 0.0))
+        hits = [k for k, _ in index.within((0.0, 0.0), 1.0)]
+        assert hits == ["a", "b"]
+
+    def test_remove_and_reinsert(self):
+        index = GridIndex(cell_width=1.0)
+        index.insert("a", (0.0, 0.0))
+        index.remove("a")
+        assert index.nearest((0.0, 0.0)) is None
+        index.insert("a", (0.0, 0.0))
+        assert index.nearest((0.0, 0.0))[0] == "a"
+
+    def test_dimension_mismatch_rejected(self):
+        index = GridIndex(cell_width=1.0)
+        index.insert("a", (0.0, 0.0))
+        with pytest.raises(ValueError):
+            index.insert("b", (0.0, 0.0, 0.0))
+
+    def test_high_dimensional_fallback(self):
+        index = GridIndex(cell_width=1.0, max_grid_dim=3)
+        index.insert("a", tuple([0.0] * 10))
+        index.insert("b", tuple([5.0] * 10))
+        key, _ = index.nearest(tuple([0.1] * 10))
+        assert key == "a"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-20, max_value=20),
+                st.floats(min_value=-20, max_value=20),
+            ),
+            min_size=1,
+            max_size=25,
+            unique=True,
+        ),
+        st.tuples(
+            st.floats(min_value=-20, max_value=20),
+            st.floats(min_value=-20, max_value=20),
+        ),
+        st.floats(min_value=0.3, max_value=5.0),
+    )
+    def test_grid_agrees_with_brute_force(self, seeds, query, cell_width):
+        grid = GridIndex(cell_width=cell_width)
+        brute = BruteForceIndex()
+        for i, seed in enumerate(seeds):
+            grid.insert(i, seed)
+            brute.insert(i, seed)
+        grid_result = grid.nearest(query)
+        brute_result = brute.nearest(query)
+        assert grid_result[1] == pytest.approx(brute_result[1], abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-20, max_value=20),
+                st.floats(min_value=-20, max_value=20),
+            ),
+            min_size=1,
+            max_size=25,
+            unique=True,
+        ),
+        st.floats(min_value=0.5, max_value=6.0),
+    )
+    def test_grid_within_agrees_with_brute_force(self, seeds, radius):
+        grid = GridIndex(cell_width=1.0)
+        brute = BruteForceIndex()
+        for i, seed in enumerate(seeds):
+            grid.insert(i, seed)
+            brute.insert(i, seed)
+        query = seeds[0]
+        assert {k for k, _ in grid.within(query, radius)} == {
+            k for k, _ in brute.within(query, radius)
+        }

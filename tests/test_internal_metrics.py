@@ -1,0 +1,163 @@
+"""Tests for the internal cluster quality metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.internal import (
+    cluster_centroids,
+    davies_bouldin_index,
+    dunn_index,
+    silhouette_score,
+    sum_of_squared_errors,
+    within_between_ratio,
+)
+
+
+def two_blobs(separation=10.0, spread=0.2, n=50, seed=0):
+    """Two Gaussian blobs along the x axis with ground-truth labels."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal((0.0, 0.0), spread, size=(n, 2))
+    b = rng.normal((separation, 0.0), spread, size=(n, 2))
+    points = np.vstack([a, b])
+    labels = np.asarray([0] * n + [1] * n)
+    return points, labels
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score([[0.0, 0.0]], [0, 1])
+
+    def test_non_2d_points_rejected(self):
+        with pytest.raises(ValueError):
+            sum_of_squared_errors([0.0, 1.0], [0, 1])
+
+    def test_noise_points_excluded(self):
+        points = [[0.0, 0.0], [0.1, 0.0], [100.0, 100.0]]
+        labels = [0, 0, -1]
+        assert sum_of_squared_errors(points, labels) < 0.1
+
+
+class TestCentroidsAndSSQ:
+    def test_centroids(self):
+        points = [[0.0, 0.0], [2.0, 0.0], [10.0, 10.0]]
+        labels = [0, 0, 1]
+        centroids = cluster_centroids(points, labels)
+        assert centroids[0] == pytest.approx([1.0, 0.0])
+        assert centroids[1] == pytest.approx([10.0, 10.0])
+
+    def test_ssq_of_perfect_clustering_is_small(self):
+        points, labels = two_blobs()
+        good = sum_of_squared_errors(points, labels)
+        bad = sum_of_squared_errors(points, np.zeros_like(labels))
+        assert good < bad
+
+    def test_ssq_empty(self):
+        assert sum_of_squared_errors(np.empty((0, 2)), []) == 0.0
+
+    def test_ssq_single_cluster_matches_variance(self):
+        points = np.asarray([[0.0], [2.0], [4.0]])
+        ssq = sum_of_squared_errors(points, [0, 0, 0])
+        assert ssq == pytest.approx(8.0)
+
+
+class TestSilhouette:
+    def test_well_separated_blobs_score_high(self):
+        points, labels = two_blobs()
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_random_labels_score_low(self):
+        points, labels = two_blobs()
+        rng = np.random.default_rng(1)
+        shuffled = rng.permutation(labels)
+        assert silhouette_score(points, shuffled) < silhouette_score(points, labels)
+
+    def test_single_cluster_returns_zero(self):
+        points, _ = two_blobs()
+        assert silhouette_score(points, np.zeros(len(points), dtype=int)) == 0.0
+
+    def test_range_is_bounded(self):
+        points, labels = two_blobs(separation=1.0, spread=1.0)
+        value = silhouette_score(points, labels)
+        assert -1.0 <= value <= 1.0
+
+    def test_singleton_clusters_do_not_crash(self):
+        points = [[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]]
+        value = silhouette_score(points, [0, 1, 2])
+        assert -1.0 <= value <= 1.0
+
+
+class TestDaviesBouldin:
+    def test_lower_for_better_clustering(self):
+        points, labels = two_blobs()
+        rng = np.random.default_rng(2)
+        assert davies_bouldin_index(points, labels) < davies_bouldin_index(
+            points, rng.permutation(labels)
+        )
+
+    def test_single_cluster_returns_zero(self):
+        points, _ = two_blobs()
+        assert davies_bouldin_index(points, np.zeros(len(points), dtype=int)) == 0.0
+
+    def test_tighter_clusters_score_better(self):
+        tight, labels = two_blobs(spread=0.1)
+        loose, _ = two_blobs(spread=2.0)
+        assert davies_bouldin_index(tight, labels) < davies_bouldin_index(loose, labels)
+
+
+class TestDunn:
+    def test_higher_for_better_separation(self):
+        near, labels = two_blobs(separation=2.0)
+        far, _ = two_blobs(separation=50.0)
+        assert dunn_index(far, labels) > dunn_index(near, labels)
+
+    def test_single_cluster_returns_zero(self):
+        points, _ = two_blobs()
+        assert dunn_index(points, np.zeros(len(points), dtype=int)) == 0.0
+
+    def test_singleton_separated_clusters_are_infinite(self):
+        points = [[0.0, 0.0], [10.0, 0.0]]
+        assert dunn_index(points, [0, 1]) == math.inf
+
+
+class TestWithinBetweenRatio:
+    def test_good_clustering_has_small_ratio(self):
+        points, labels = two_blobs()
+        rng = np.random.default_rng(3)
+        good = within_between_ratio(points, labels)
+        bad = within_between_ratio(points, rng.permutation(labels))
+        assert good < bad
+        assert good < 0.2
+
+    def test_single_cluster_returns_zero(self):
+        points, _ = two_blobs()
+        assert within_between_ratio(points, np.zeros(len(points), dtype=int)) == 0.0
+
+
+class TestMetricConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.floats(2.0, 40.0))
+    def test_all_metrics_prefer_true_labels_over_random(self, seed, separation):
+        points, labels = two_blobs(separation=separation, spread=0.3, n=30, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        random_labels = rng.integers(0, 2, size=len(labels))
+        if len(set(random_labels.tolist())) < 2:
+            random_labels[0] = 1 - random_labels[0]
+        assert silhouette_score(points, labels) >= silhouette_score(points, random_labels)
+        assert davies_bouldin_index(points, labels) <= davies_bouldin_index(
+            points, random_labels
+        )
+
+    def test_metrics_invariant_to_label_renaming(self):
+        points, labels = two_blobs()
+        renamed = np.where(labels == 0, 7, 3)
+        assert silhouette_score(points, labels) == pytest.approx(
+            silhouette_score(points, renamed)
+        )
+        assert dunn_index(points, labels) == pytest.approx(dunn_index(points, renamed))
+        assert within_between_ratio(points, labels) == pytest.approx(
+            within_between_ratio(points, renamed)
+        )

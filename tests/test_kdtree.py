@@ -1,0 +1,186 @@
+"""Tests for the KD-tree nearest-seed index."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index import BruteForceIndex, KDTreeIndex, SeedIndex
+
+
+def brute_nearest(points, query):
+    """Reference nearest neighbour by exhaustive scan."""
+    best_key, best_distance = None, math.inf
+    for key, point in points.items():
+        distance = math.dist(point, query)
+        if distance < best_distance:
+            best_key, best_distance = key, distance
+    return best_key, best_distance
+
+
+class TestBasics:
+    def test_is_a_seed_index(self):
+        assert isinstance(KDTreeIndex(), SeedIndex)
+
+    def test_rebuild_factor_validation(self):
+        with pytest.raises(ValueError):
+            KDTreeIndex(rebuild_factor=0.0)
+
+    def test_empty_queries(self):
+        index = KDTreeIndex()
+        assert index.nearest((0.0, 0.0)) is None
+        assert index.within((0.0, 0.0), 1.0) == []
+        assert len(index) == 0
+
+    def test_insert_and_nearest(self):
+        index = KDTreeIndex()
+        index.insert("a", (0.0, 0.0))
+        index.insert("b", (5.0, 0.0))
+        key, distance = index.nearest((1.0, 0.0))
+        assert key == "a"
+        assert distance == pytest.approx(1.0)
+        assert index.nearest_key((4.9, 0.0)) == "b"
+
+    def test_duplicate_key_rejected(self):
+        index = KDTreeIndex()
+        index.insert("a", (0.0, 0.0))
+        with pytest.raises(KeyError):
+            index.insert("a", (1.0, 1.0))
+
+    def test_dimension_mismatch_rejected(self):
+        index = KDTreeIndex()
+        index.insert("a", (0.0, 0.0))
+        with pytest.raises(ValueError):
+            index.insert("b", (0.0, 0.0, 0.0))
+
+    def test_remove_unknown_key(self):
+        index = KDTreeIndex()
+        with pytest.raises(KeyError):
+            index.remove("missing")
+
+    def test_contains_len_keys_location(self):
+        index = KDTreeIndex()
+        index.insert("a", (1.0, 2.0))
+        index.insert("b", (3.0, 4.0))
+        assert "a" in index and "z" not in index
+        assert len(index) == 2
+        assert set(index.keys()) == {"a", "b"}
+        assert index.location("a") == (1.0, 2.0)
+
+
+class TestRemoval:
+    def test_removed_seed_is_not_returned(self):
+        index = KDTreeIndex()
+        index.insert("a", (0.0, 0.0))
+        index.insert("b", (1.0, 0.0))
+        index.remove("a")
+        assert index.nearest((0.0, 0.0))[0] == "b"
+        assert [k for k, _ in index.within((0.0, 0.0), 10.0)] == ["b"]
+
+    def test_removing_everything_empties_the_tree(self):
+        index = KDTreeIndex()
+        for i in range(10):
+            index.insert(i, (float(i), 0.0))
+        for i in range(10):
+            index.remove(i)
+        assert len(index) == 0
+        assert index.nearest((0.0, 0.0)) is None
+
+    def test_rebuild_triggered_by_heavy_deletion(self):
+        index = KDTreeIndex(rebuild_factor=0.5)
+        for i in range(40):
+            index.insert(i, (float(i), float(i % 5)))
+        for i in range(0, 40, 2):
+            index.remove(i)
+        assert index.n_rebuilds >= 1
+        # Remaining seeds still answer correctly.
+        key, _ = index.nearest((39.0, 4.0))
+        assert key == 39
+
+    def test_reinsert_after_remove(self):
+        index = KDTreeIndex()
+        index.insert("a", (0.0, 0.0))
+        index.remove("a")
+        index.insert("a", (2.0, 2.0))
+        assert index.nearest((2.0, 2.0)) == ("a", pytest.approx(0.0))
+
+
+class TestQueriesAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+            min_size=1,
+            max_size=60,
+            unique=True,
+        ),
+        st.tuples(st.floats(-60, 60), st.floats(-60, 60)),
+    )
+    def test_nearest_matches_brute_force(self, points, query):
+        index = KDTreeIndex()
+        reference = {}
+        for i, point in enumerate(points):
+            index.insert(i, point)
+            reference[i] = point
+        expected_key, expected_distance = brute_nearest(reference, query)
+        key, distance = index.nearest(query)
+        assert distance == pytest.approx(expected_distance)
+        assert math.dist(reference[key], query) == pytest.approx(expected_distance)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-20, 20), st.floats(-20, 20)),
+            min_size=1,
+            max_size=60,
+            unique=True,
+        ),
+        st.floats(0.5, 15.0),
+    )
+    def test_within_matches_brute_force(self, points, radius):
+        query = (0.0, 0.0)
+        index = KDTreeIndex()
+        for i, point in enumerate(points):
+            index.insert(i, point)
+        expected = {
+            i for i, point in enumerate(points) if math.dist(point, query) <= radius
+        }
+        got = {key for key, _ in index.within(query, radius)}
+        assert got == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=10_000))
+    def test_agreement_with_brute_force_index_under_churn(self, n, seed):
+        rng = np.random.default_rng(seed)
+        kdtree = KDTreeIndex(rebuild_factor=0.5)
+        brute = BruteForceIndex()
+        points = rng.uniform(-10, 10, size=(n, 3))
+        for i, point in enumerate(points):
+            kdtree.insert(i, tuple(point))
+            brute.insert(i, tuple(point))
+        # Remove a random half.
+        for i in rng.choice(n, size=n // 2, replace=False):
+            kdtree.remove(int(i))
+            brute.remove(int(i))
+        query = tuple(rng.uniform(-10, 10, size=3))
+        expected = brute.nearest(query)
+        got = kdtree.nearest(query)
+        if expected is None:
+            assert got is None
+        else:
+            assert got[1] == pytest.approx(expected[1])
+
+
+class TestStructure:
+    def test_height_is_logarithmic_after_rebuild(self):
+        index = KDTreeIndex(rebuild_factor=0.1)
+        # Insert in sorted order (worst case: a path), then force a rebuild.
+        for i in range(127):
+            index.insert(i, (float(i), 0.0))
+        degenerate_height = index.height
+        for i in range(100, 127):
+            index.remove(i)
+        assert index.n_rebuilds >= 1
+        assert index.height < degenerate_height
+        assert index.height <= 2 * math.ceil(math.log2(len(index) + 1))

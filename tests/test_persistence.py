@@ -1,0 +1,127 @@
+"""Tests for EDMStream model persistence (save / load round trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EDMStream
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+
+
+def trained_model(stream, **kwargs):
+    """Feed a stream into a fresh EDMStream model."""
+    params = dict(radius=0.5, beta=0.001, stream_rate=stream.rate, init_size=100)
+    params.update(kwargs)
+    model = EDMStream(**params)
+    for point in stream:
+        model.learn_one(point.values, timestamp=point.timestamp, label=point.label)
+    return model
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_clustering(self, two_blob_stream):
+        model = trained_model(two_blob_stream)
+        restored = model_from_dict(model_to_dict(model))
+
+        assert restored.n_points == model.n_points
+        assert restored.n_active_cells == model.n_active_cells
+        assert restored.n_inactive_cells == model.n_inactive_cells
+        assert restored.tau == pytest.approx(model.tau)
+        assert restored.alpha == pytest.approx(model.alpha)
+        assert restored.n_clusters == model.n_clusters
+        assert restored.clusters() == model.clusters()
+
+    def test_round_trip_preserves_predictions(self, two_blob_stream):
+        model = trained_model(two_blob_stream)
+        restored = model_from_dict(model_to_dict(model))
+        queries = [(0.0, 0.0), (6.0, 6.0), (3.0, 3.0), (100.0, 100.0)]
+        for query in queries:
+            assert restored.predict_one(query) == model.predict_one(query)
+
+    def test_round_trip_is_json_serialisable(self, two_blob_stream):
+        model = trained_model(two_blob_stream)
+        payload = json.dumps(model_to_dict(model))
+        restored = model_from_dict(json.loads(payload))
+        assert restored.n_active_cells == model.n_active_cells
+
+    def test_file_round_trip(self, two_blob_stream, tmp_path):
+        model = trained_model(two_blob_stream)
+        path = save_model(model, tmp_path / "snapshots" / "model.json")
+        assert path.exists()
+        restored = load_model(path)
+        assert restored.clusters() == model.clusters()
+
+    def test_restored_model_keeps_learning(self, two_blob_stream):
+        model = trained_model(two_blob_stream)
+        restored = model_from_dict(model_to_dict(model))
+        rng = np.random.default_rng(0)
+        t = restored.now
+        for i in range(200):
+            point = rng.normal((0.0, 0.0), 0.3, size=2)
+            t += 1e-3
+            restored.learn_one(tuple(point), timestamp=t)
+        assert restored.n_points == model.n_points + 200
+        assert restored.n_clusters >= 1
+
+    def test_new_cells_do_not_collide_with_restored_ids(self, two_blob_stream):
+        model = trained_model(two_blob_stream)
+        snapshot = model_to_dict(model)
+        restored = model_from_dict(snapshot)
+        existing_ids = {c["cell_id"] for c in snapshot["active_cells"]}
+        existing_ids |= {c["cell_id"] for c in snapshot["inactive_cells"]}
+        # Force a brand-new cell far away from everything else.
+        new_cell_id = restored.learn_one((500.0, 500.0), timestamp=restored.now + 0.001)
+        assert new_cell_id not in existing_ids
+
+    def test_dependency_structure_preserved(self, two_blob_stream):
+        model = trained_model(two_blob_stream)
+        restored = model_from_dict(model_to_dict(model))
+        for cell in model.tree.cells():
+            restored_cell = restored.tree.get(cell.cell_id)
+            assert restored_cell.dependency == cell.dependency
+            assert restored_cell.delta == pytest.approx(cell.delta)
+
+
+class TestUninitialisedAndEdgeCases:
+    def test_empty_model_round_trip(self):
+        model = EDMStream(radius=1.0)
+        restored = model_from_dict(model_to_dict(model))
+        assert restored.n_points == 0
+        assert restored.n_active_cells == 0
+        assert not restored.initialized
+
+    def test_uninitialised_model_round_trip(self, two_blob_stream):
+        model = EDMStream(radius=0.5, init_size=10_000)  # never initialises
+        for point in two_blob_stream.prefix(50):
+            model.learn_one(point.values, timestamp=point.timestamp)
+        restored = model_from_dict(model_to_dict(model))
+        assert not restored.initialized
+        assert restored.n_inactive_cells == model.n_inactive_cells
+
+    def test_unsupported_version_rejected(self, two_blob_stream):
+        model = trained_model(two_blob_stream)
+        payload = model_to_dict(model)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError):
+            model_from_dict(payload)
+
+    def test_config_round_trip(self, two_blob_stream):
+        model = trained_model(
+            two_blob_stream, enable_triangle_filter=False, maintenance_interval=2.5
+        )
+        restored = model_from_dict(model_to_dict(model))
+        assert restored.config.enable_triangle_filter is False
+        assert restored.config.maintenance_interval == 2.5
+
+    def test_label_votes_round_trip(self, two_blob_stream):
+        model = trained_model(two_blob_stream)
+        restored = model_from_dict(model_to_dict(model))
+        for cell in model.tree.cells():
+            assert restored.tree.get(cell.cell_id).label_votes == cell.label_votes

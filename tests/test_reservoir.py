@@ -1,0 +1,125 @@
+"""Tests for the outlier reservoir (Sections 4.1, 4.3, 4.4, Theorem 3)."""
+
+import pytest
+
+from repro.core.cell import ClusterCell
+from repro.core.decay import DecayModel
+from repro.core.reservoir import OutlierReservoir
+
+
+@pytest.fixture
+def reservoir() -> OutlierReservoir:
+    return OutlierReservoir(
+        decay=DecayModel(a=0.998, lam=1.0), beta=0.0021, stream_rate=1000.0
+    )
+
+
+class TestThresholds:
+    def test_active_threshold_matches_paper(self, reservoir):
+        assert reservoir.active_threshold == pytest.approx(1050.0)
+
+    def test_deletion_interval_positive(self, reservoir):
+        assert reservoir.deletion_interval > 0
+
+    def test_deletion_interval_override(self):
+        reservoir = OutlierReservoir(
+            decay=DecayModel(), beta=0.0021, stream_rate=1000.0, deletion_interval=5.0
+        )
+        assert reservoir.deletion_interval == 5.0
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ValueError):
+            OutlierReservoir(
+                decay=DecayModel(), beta=0.0021, stream_rate=1000.0, deletion_interval=0.0
+            )
+
+    def test_size_upper_bound_formula(self, reservoir):
+        expected = reservoir.deletion_interval * 1000.0 + 1.0 / 0.0021
+        assert reservoir.size_upper_bound == pytest.approx(expected)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            OutlierReservoir(decay=DecayModel(), beta=1.5, stream_rate=1000.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            OutlierReservoir(decay=DecayModel(), beta=0.5, stream_rate=0.0)
+
+
+class TestMembership:
+    def test_add_and_get(self, reservoir):
+        cell = ClusterCell(seed=(0.0,), density=3.0)
+        reservoir.add(cell)
+        assert cell.cell_id in reservoir
+        assert len(reservoir) == 1
+        assert reservoir.get(cell.cell_id) is cell
+
+    def test_add_clears_dependency_information(self, reservoir):
+        cell = ClusterCell(seed=(0.0,), density=3.0, dependency=42, delta=1.0)
+        reservoir.add(cell)
+        assert cell.dependency is None
+        assert cell.delta == float("inf")
+
+    def test_duplicate_add_rejected(self, reservoir):
+        cell = ClusterCell(seed=(0.0,))
+        reservoir.add(cell)
+        with pytest.raises(KeyError):
+            reservoir.add(cell)
+
+    def test_pop_removes(self, reservoir):
+        cell = ClusterCell(seed=(0.0,))
+        reservoir.add(cell)
+        popped = reservoir.pop(cell.cell_id)
+        assert popped is cell
+        assert len(reservoir) == 0
+
+    def test_pop_unknown_raises(self, reservoir):
+        with pytest.raises(KeyError):
+            reservoir.pop(9999)
+
+    def test_iteration(self, reservoir):
+        cells = [ClusterCell(seed=(float(i),)) for i in range(3)]
+        for cell in cells:
+            reservoir.add(cell)
+        assert set(c.cell_id for c in reservoir) == {c.cell_id for c in cells}
+
+
+class TestActivationAndPruning:
+    def test_is_active_threshold(self, reservoir):
+        dense = ClusterCell(seed=(0.0,), density=2000.0, last_update=0.0)
+        sparse = ClusterCell(seed=(1.0,), density=10.0, last_update=0.0)
+        assert reservoir.is_active(dense, now=0.0)
+        assert not reservoir.is_active(sparse, now=0.0)
+
+    def test_promotable_lists_only_dense_cells(self, reservoir):
+        dense = ClusterCell(seed=(0.0,), density=2000.0, last_update=0.0)
+        sparse = ClusterCell(seed=(1.0,), density=10.0, last_update=0.0)
+        reservoir.add(dense)
+        reservoir.add(sparse)
+        promotable = reservoir.promotable(now=0.0)
+        assert [c.cell_id for c in promotable] == [dense.cell_id]
+
+    def test_prune_outdated_removes_idle_cells(self):
+        reservoir = OutlierReservoir(
+            decay=DecayModel(), beta=0.0021, stream_rate=1000.0, deletion_interval=10.0
+        )
+        stale = ClusterCell(seed=(0.0,), last_absorb=0.0)
+        fresh = ClusterCell(seed=(1.0,), last_absorb=95.0)
+        reservoir.add(stale)
+        reservoir.add(fresh)
+        removed = reservoir.prune_outdated(now=100.0)
+        assert [c.cell_id for c in removed] == [stale.cell_id]
+        assert fresh.cell_id in reservoir
+        assert reservoir.total_deleted == 1
+
+    def test_prune_disabled(self):
+        reservoir = OutlierReservoir(
+            decay=DecayModel(),
+            beta=0.0021,
+            stream_rate=1000.0,
+            delete_outdated=False,
+            deletion_interval=1.0,
+        )
+        reservoir.add(ClusterCell(seed=(0.0,), last_absorb=0.0))
+        assert reservoir.prune_outdated(now=100.0) == []
+        assert len(reservoir) == 1

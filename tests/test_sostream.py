@@ -1,0 +1,128 @@
+"""Tests for the SOStream baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sostream import SOStream
+
+
+def feed(model, points, rate=1000.0):
+    """Feed an array of points at a fixed arrival rate."""
+    for i, point in enumerate(points):
+        model.learn_one(tuple(point), timestamp=i / rate)
+
+
+class TestParameterValidation:
+    def test_alpha_range(self):
+        with pytest.raises(ValueError):
+            SOStream(alpha=0.0)
+        with pytest.raises(ValueError):
+            SOStream(alpha=1.5)
+
+    def test_min_pts(self):
+        with pytest.raises(ValueError):
+            SOStream(min_pts=0)
+
+    def test_merge_threshold_non_negative(self):
+        with pytest.raises(ValueError):
+            SOStream(merge_threshold=-1.0)
+
+    def test_fade_gap_positive(self):
+        with pytest.raises(ValueError):
+            SOStream(fade_gap=0.0)
+
+    def test_decay_factor_validation(self):
+        with pytest.raises(ValueError):
+            SOStream(decay_a=1.0, decay_lambda=0.0)
+
+
+class TestOnlineBehaviour:
+    def test_first_point_creates_micro_cluster(self):
+        model = SOStream()
+        model.learn_one((0.0, 0.0), timestamp=0.0)
+        assert model.n_micro_clusters == 1
+
+    def test_two_separated_blobs_form_two_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal((0.0, 0.0), 0.05, size=(200, 2))
+        b = rng.normal((5.0, 5.0), 0.05, size=(200, 2))
+        points = np.vstack([a, b])
+        order = rng.permutation(len(points))
+        model = SOStream(alpha=0.3, min_pts=2, merge_threshold=0.3)
+        feed(model, points[order])
+        assert model.predict_one((0.0, 0.0)) != model.predict_one((5.0, 5.0))
+        assert model.predict_one((0.0, 0.0)) != -1
+
+    def test_merge_counter_increments_for_overlapping_clusters(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal((0.0, 0.0), 0.2, size=(400, 2))
+        model = SOStream(alpha=0.5, min_pts=2, merge_threshold=0.4)
+        feed(model, points)
+        assert model.n_merges > 0
+        assert model.n_micro_clusters < 50
+
+    def test_far_point_predicted_as_outlier(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal((0.0, 0.0), 0.1, size=(100, 2))
+        model = SOStream(merge_threshold=0.2)
+        feed(model, points)
+        assert model.predict_one((100.0, 100.0)) == -1
+
+    def test_empty_model_predicts_outlier(self):
+        model = SOStream()
+        assert model.predict_one((0.0, 0.0)) == -1
+
+    def test_fading_prunes_abandoned_clusters(self):
+        model = SOStream(weight_threshold=0.5, fade_gap=1.0)
+        # A short burst at the origin, then a long quiet period followed by
+        # activity elsewhere: the stale micro-cluster should be pruned.
+        for i in range(5):
+            model.learn_one((0.0, 0.0), timestamp=i * 0.001)
+        for i in range(50):
+            model.learn_one((30.0, 30.0), timestamp=2000.0 + i * 0.001)
+        centers = [tuple(model._clusters[mid].centroid) for mid in model._clusters]
+        assert all(np.linalg.norm(np.asarray(c) - (0.0, 0.0)) > 1.0 for c in centers)
+
+    def test_self_organising_step_moves_neighbours(self):
+        model = SOStream(alpha=0.5, min_pts=1, merge_threshold=0.01)
+        model.learn_one((0.0, 0.0), timestamp=0.0)
+        model.learn_one((1.0, 0.0), timestamp=0.001)
+        # Repeatedly hit near the first cluster; the second should be dragged
+        # towards it because it lies inside the winner's neighbourhood radius.
+        start = None
+        for i in range(30):
+            model.learn_one((0.05, 0.0), timestamp=0.002 + i * 0.001)
+            if start is None:
+                remaining = [c for c in model._clusters.values()]
+                start = max(float(c.centroid[0]) for c in remaining)
+        end = max(float(c.centroid[0]) for c in model._clusters.values())
+        assert end <= start
+
+    def test_timestamps_default_to_unit_steps(self):
+        model = SOStream()
+        model.learn_one((0.0, 0.0))
+        model.learn_one((0.1, 0.0))
+        assert model._now == pytest.approx(2.0)
+
+
+class TestClusteringQueries:
+    def test_request_clustering_assigns_compact_labels(self):
+        rng = np.random.default_rng(11)
+        blobs = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]
+        points = np.vstack(
+            [rng.normal(center, 0.05, size=(60, 2)) for center in blobs]
+        )
+        order = rng.permutation(len(points))
+        model = SOStream(merge_threshold=0.3, min_pts=3)
+        feed(model, points[order])
+        model.request_clustering()
+        labels = {model.predict_one(center) for center in blobs}
+        # Each blob maps to a distinct, compact label.
+        assert len(labels) == 3
+        assert all(0 <= label < model.n_micro_clusters for label in labels)
+
+    def test_n_clusters_matches_micro_clusters(self):
+        model = SOStream(merge_threshold=0.01)
+        model.learn_one((0.0, 0.0), timestamp=0.0)
+        model.learn_one((10.0, 0.0), timestamp=0.001)
+        assert model.n_clusters == model.n_micro_clusters == 2

@@ -1,0 +1,189 @@
+"""Tests for the stream-clustering baselines (DenStream, D-Stream, DBSTREAM,
+MR-Stream, CluStream, Periodic-DP)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CluStream,
+    DBStream,
+    DenStream,
+    DStream,
+    MRStream,
+    PeriodicDPStream,
+    StreamClusterer,
+)
+
+
+def feed(algorithm, stream):
+    for point in stream:
+        algorithm.learn_one(point.values, timestamp=point.timestamp, label=point.label)
+    algorithm.request_clustering()
+    return algorithm
+
+
+# Parameters are tuned for the small (200-point, 0.2-second) test streams:
+# the grid-based algorithms derive their dense-grid thresholds from the
+# steady-state total weight, which a short stream never reaches, so the tests
+# use a faster decay and lower C_m than the full-scale benchmark defaults.
+ALL_BASELINES = [
+    lambda: DenStream(eps=0.5, mu=5.0, beta=0.3),
+    lambda: DStream(grid_size=0.8, c_m=1.5, c_l=0.5, decay_a=0.5, decay_lambda=1.0),
+    lambda: DBStream(radius=0.5, w_min=1.5, alpha_intersection=0.1),
+    lambda: MRStream(bounds=(-2.0, 8.0), max_height=4, c_m=1.5, c_l=0.5,
+                     decay_a=2.0, decay_lambda=-1.0),
+    lambda: CluStream(n_micro_clusters=50, n_macro_clusters=2, horizon=10.0),
+    lambda: PeriodicDPStream(radius=0.5, tau=2.0, beta=0.01, stream_rate=1000.0),
+]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_separates_two_blobs(self, factory, two_blob_stream):
+        algorithm = feed(factory(), two_blob_stream)
+        label_a = algorithm.predict_one((0.0, 0.0))
+        label_b = algorithm.predict_one((6.0, 6.0))
+        assert label_a != -1
+        assert label_b != -1
+        assert label_a != label_b
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_n_clusters_at_least_two_on_two_blobs(self, factory, two_blob_stream):
+        algorithm = feed(factory(), two_blob_stream)
+        assert algorithm.n_clusters >= 2
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_implements_stream_clusterer_interface(self, factory):
+        algorithm = factory()
+        assert isinstance(algorithm, StreamClusterer)
+        assert isinstance(algorithm.name, str)
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_learn_many(self, factory, two_blob_stream):
+        algorithm = factory()
+        algorithm.learn_many(two_blob_stream.prefix(50))
+        algorithm.request_clustering()
+        assert algorithm.n_clusters >= 0  # no crash, clustering defined
+
+
+class TestDenStream:
+    def test_micro_cluster_promotion(self, two_blob_stream):
+        algorithm = feed(DenStream(eps=0.5, mu=5.0, beta=0.3), two_blob_stream)
+        assert algorithm.n_micro_clusters > 0
+
+    def test_prune_removes_stale_outlier_micro_clusters(self):
+        algorithm = DenStream(eps=0.3, mu=10.0, beta=0.5, decay_a=2.0, decay_lambda=1.0,
+                              prune_interval=1.0)
+        algorithm.learn_one((0.0, 0.0), timestamp=0.0)
+        for i in range(200):
+            algorithm.learn_one((50.0, 50.0), timestamp=5.0 + i * 0.01)
+        assert algorithm.n_outlier_micro_clusters <= 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DenStream(eps=0.0)
+        with pytest.raises(ValueError):
+            DenStream(mu=0.0)
+        with pytest.raises(ValueError):
+            DenStream(beta=2.0)
+
+    def test_radius_if_inserted_grows(self):
+        from repro.baselines.denstream import MicroCluster
+
+        mc = MicroCluster(dimension=2, creation_time=0.0)
+        mc.insert(np.asarray([0.0, 0.0]), 0.0, 0.998)
+        before = mc.radius
+        after = mc.radius_if_inserted(np.asarray([1.0, 0.0]))
+        assert after > before
+
+
+class TestDStream:
+    def test_grid_assignment(self):
+        algorithm = DStream(grid_size=1.0)
+        key = algorithm.learn_one((2.3, 4.7), timestamp=0.0)
+        assert key == (2, 4)
+
+    def test_sporadic_grid_removal(self):
+        algorithm = DStream(grid_size=1.0, gap=1.0)
+        algorithm.learn_one((0.0, 0.0), timestamp=0.0)
+        for i in range(2000):
+            algorithm.learn_one((10.0, 10.0), timestamp=1.0 + i * 0.01)
+        assert algorithm.n_grids < 2000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DStream(grid_size=0.0)
+        with pytest.raises(ValueError):
+            DStream(c_m=0.5)
+        with pytest.raises(ValueError):
+            DStream(c_l=1.5)
+
+
+class TestDBStream:
+    def test_micro_clusters_created(self, two_blob_stream):
+        algorithm = feed(DBStream(radius=0.5), two_blob_stream)
+        assert algorithm.n_micro_clusters > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DBStream(radius=0.0)
+        with pytest.raises(ValueError):
+            DBStream(alpha_intersection=1.5)
+        with pytest.raises(ValueError):
+            DBStream(learning_rate=0.0)
+
+
+class TestMRStream:
+    def test_cells_created_at_every_resolution(self, two_blob_stream):
+        algorithm = MRStream(bounds=(-2.0, 8.0), max_height=3)
+        algorithm.learn_one((0.0, 0.0), timestamp=0.0)
+        assert algorithm.n_cells == 3
+
+    def test_out_of_bounds_points_are_clamped(self):
+        algorithm = MRStream(bounds=(0.0, 1.0), max_height=3)
+        key = algorithm.learn_one((5.0, -5.0), timestamp=0.0)
+        assert all(0 <= k < 2 ** 3 for k in key)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MRStream(bounds=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            MRStream(max_height=0)
+        with pytest.raises(ValueError):
+            MRStream(max_height=3, clustering_height=5)
+
+
+class TestCluStream:
+    def test_micro_cluster_budget_is_respected(self, two_blob_stream):
+        algorithm = feed(CluStream(n_micro_clusters=10, n_macro_clusters=2), two_blob_stream)
+        assert algorithm.n_micro <= 10
+
+    def test_merge_path_when_no_outdated_cluster(self):
+        algorithm = CluStream(n_micro_clusters=3, n_macro_clusters=2, horizon=1e9)
+        for i in range(20):
+            algorithm.learn_one((float(i * 10), 0.0), timestamp=float(i))
+        assert algorithm.n_micro <= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CluStream(n_micro_clusters=1)
+        with pytest.raises(ValueError):
+            CluStream(n_macro_clusters=0)
+        with pytest.raises(ValueError):
+            CluStream(horizon=0.0)
+
+
+class TestPeriodicDP:
+    def test_same_summarisation_as_edmstream(self, two_blob_stream):
+        algorithm = feed(
+            PeriodicDPStream(radius=0.5, tau=2.0, beta=0.01, stream_rate=1000.0),
+            two_blob_stream,
+        )
+        assert algorithm.n_cells > 0
+        assert algorithm.n_clusters == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PeriodicDPStream(radius=0.0)
+        with pytest.raises(ValueError):
+            PeriodicDPStream(tau=0.0)

@@ -1,0 +1,151 @@
+"""Tests for the snapshot recorder and event-log comparison helpers."""
+
+import pytest
+
+from repro.core.decay import DecayModel
+from repro.core.evolution import ClusterEvent, EvolutionType
+from repro.tracking.adapter import (
+    SnapshotRecorder,
+    compare_event_logs,
+    events_from_external_transitions,
+)
+from repro.tracking.monic import MonicTracker
+from repro.tracking.transitions import ExternalTransition, TransitionType
+from repro.streams.point import StreamPoint
+
+
+class _RegionClusterer:
+    """Toy clusterer: label = 0 for x < threshold, 1 otherwise, -1 for far points."""
+
+    def __init__(self, threshold=5.0, outlier_beyond=100.0):
+        self.threshold = threshold
+        self.outlier_beyond = outlier_beyond
+
+    def predict_one(self, values):
+        x = float(values[0])
+        if abs(x) > self.outlier_beyond:
+            return -1
+        return 0 if x < self.threshold else 1
+
+
+class TestSnapshotRecorder:
+    def test_window_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SnapshotRecorder(_RegionClusterer(), window_size=0)
+
+    def test_window_is_bounded(self):
+        recorder = SnapshotRecorder(_RegionClusterer(), window_size=3)
+        for i in range(10):
+            recorder.add_point((float(i),), timestamp=float(i))
+        assert len(recorder) == 3
+        ids = [pid for pid, _, _ in recorder.window_points()]
+        assert ids == [7, 8, 9]
+
+    def test_snapshot_groups_points_by_predicted_cluster(self):
+        recorder = SnapshotRecorder(_RegionClusterer(threshold=5.0), window_size=10)
+        for i in range(10):
+            recorder.add_point((float(i),), timestamp=float(i), point_id=i)
+        snapshot = recorder.snapshot(time=10.0)
+        assert snapshot.cluster(0).members == frozenset(range(5))
+        assert snapshot.cluster(1).members == frozenset(range(5, 10))
+
+    def test_snapshot_excludes_outliers(self):
+        recorder = SnapshotRecorder(_RegionClusterer(outlier_beyond=50.0), window_size=10)
+        recorder.add_point((1.0,), timestamp=0.0, point_id=1)
+        recorder.add_point((1000.0,), timestamp=0.1, point_id=2)
+        snapshot = recorder.snapshot(time=1.0)
+        assert 2 not in snapshot.all_members()
+
+    def test_freshness_weights_applied(self):
+        decay = DecayModel(a=0.998, lam=1.0)
+        recorder = SnapshotRecorder(_RegionClusterer(), window_size=10, decay=decay)
+        recorder.add_point((0.0,), timestamp=0.0, point_id=0)
+        recorder.add_point((0.0,), timestamp=100.0, point_id=1)
+        snapshot = recorder.snapshot(time=100.0)
+        cluster = snapshot.cluster(0)
+        assert cluster.weight_of(1) == pytest.approx(1.0)
+        assert cluster.weight_of(0) == pytest.approx(decay.freshness(0.0, 100.0))
+        assert cluster.weight_of(0) < cluster.weight_of(1)
+
+    def test_add_stream_point(self):
+        recorder = SnapshotRecorder(_RegionClusterer(), window_size=5)
+        recorder.add_stream_point(StreamPoint(values=(1.0,), timestamp=0.5, point_id=42))
+        assert recorder.window_points()[0][0] == 42
+
+    def test_snapshots_are_accumulated(self):
+        recorder = SnapshotRecorder(_RegionClusterer(), window_size=5)
+        recorder.add_point((1.0,), timestamp=0.0)
+        recorder.snapshot(time=1.0)
+        recorder.snapshot(time=2.0)
+        assert len(recorder.snapshots) == 2
+
+    def test_monic_over_recorded_snapshots_sees_drift(self):
+        """Moving the decision boundary makes MONIC report a change."""
+        recorder = SnapshotRecorder(_RegionClusterer(threshold=5.0), window_size=20)
+        for i in range(20):
+            recorder.add_point((float(i % 10),), timestamp=float(i), point_id=i)
+        monic = MonicTracker()
+        monic.observe(recorder.snapshot(time=20.0))
+        # Shift the boundary so cluster memberships change drastically.
+        recorder.clusterer.threshold = 2.0
+        monic.observe(recorder.snapshot(time=40.0))
+        assert len(monic.external_transitions) > 1
+
+
+class TestLogConversion:
+    def test_events_from_external_transitions_maps_types(self):
+        transitions = [
+            ExternalTransition(transition_type=TransitionType.SPLIT, time=1.0,
+                               old_clusters=("a",), new_clusters=("x", "y")),
+            ExternalTransition(transition_type=TransitionType.ABSORB, time=2.0,
+                               old_clusters=("x", "y"), new_clusters=("z",)),
+            ExternalTransition(transition_type=TransitionType.GROW, time=2.0),
+        ]
+        events = events_from_external_transitions(transitions)
+        assert [e.event_type for e in events] == [EvolutionType.SPLIT, EvolutionType.MERGE]
+        assert events[0].new_clusters == ("x", "y")
+
+    def test_compare_event_logs_perfect_match(self):
+        events = [
+            ClusterEvent(event_type=EvolutionType.SPLIT, time=5.0),
+            ClusterEvent(event_type=EvolutionType.MERGE, time=9.0),
+        ]
+        report = compare_event_logs(events, list(events))
+        assert report["split"]["recall"] == 1.0
+        assert report["split"]["precision"] == 1.0
+        assert report["merge"]["hits"] == 1.0
+
+    def test_compare_event_logs_missed_event(self):
+        reference = [
+            ClusterEvent(event_type=EvolutionType.SPLIT, time=5.0),
+            ClusterEvent(event_type=EvolutionType.SPLIT, time=50.0),
+        ]
+        candidate = [ClusterEvent(event_type=EvolutionType.SPLIT, time=5.2)]
+        report = compare_event_logs(reference, candidate, time_tolerance=1.0)
+        assert report["split"]["recall"] == pytest.approx(0.5)
+        assert report["split"]["precision"] == pytest.approx(1.0)
+
+    def test_compare_event_logs_spurious_event(self):
+        reference = [ClusterEvent(event_type=EvolutionType.MERGE, time=5.0)]
+        candidate = [
+            ClusterEvent(event_type=EvolutionType.MERGE, time=5.0),
+            ClusterEvent(event_type=EvolutionType.MERGE, time=90.0),
+        ]
+        report = compare_event_logs(reference, candidate, time_tolerance=1.0)
+        assert report["merge"]["precision"] == pytest.approx(0.5)
+        assert report["merge"]["recall"] == pytest.approx(1.0)
+
+    def test_compare_event_logs_empty_logs(self):
+        report = compare_event_logs([], [])
+        assert report["split"]["recall"] == 1.0
+        assert report["split"]["precision"] == 1.0
+
+    def test_each_reference_event_matched_once(self):
+        reference = [ClusterEvent(event_type=EvolutionType.SPLIT, time=5.0)]
+        candidate = [
+            ClusterEvent(event_type=EvolutionType.SPLIT, time=5.0),
+            ClusterEvent(event_type=EvolutionType.SPLIT, time=5.1),
+        ]
+        report = compare_event_logs(reference, candidate, time_tolerance=1.0)
+        assert report["split"]["hits"] == 1.0
+        assert report["split"]["precision"] == pytest.approx(0.5)

@@ -1,0 +1,136 @@
+"""Tests for the MEC bipartite-graph transition tracker."""
+
+import pytest
+
+from repro.tracking.mec import MECTracker, TransitionEdge
+from repro.tracking.transitions import ClusterSnapshot, TransitionType, WeightedCluster
+
+
+def snapshot(time, **clusters):
+    return ClusterSnapshot(
+        time=time,
+        clusters=[
+            WeightedCluster(cluster_id=name, members=frozenset(members))
+            for name, members in clusters.items()
+        ],
+    )
+
+
+class TestConstruction:
+    def test_invalid_edge_threshold(self):
+        with pytest.raises(ValueError):
+            MECTracker(edge_threshold=0.0)
+        with pytest.raises(ValueError):
+            MECTracker(edge_threshold=1.2)
+
+    def test_survival_threshold_must_dominate_edge_threshold(self):
+        with pytest.raises(ValueError):
+            MECTracker(edge_threshold=0.5, survival_threshold=0.3)
+
+    def test_first_snapshot_emits_births(self):
+        tracker = MECTracker()
+        transitions = tracker.observe(snapshot(0.0, a={1}, b={2}))
+        assert {t.transition_type for t in transitions} == {TransitionType.EMERGE}
+        assert len(transitions) == 2
+
+
+class TestTransitionGraph:
+    def test_graph_edges_carry_conditional_probabilities(self):
+        tracker = MECTracker(edge_threshold=0.1)
+        old = snapshot(0.0, a={1, 2, 3, 4})
+        new = snapshot(1.0, x={1, 2, 3}, y={4, 5})
+        edges = tracker.build_graph(old, new)
+        by_target = {e.new_cluster: e for e in edges}
+        assert by_target["x"].forward == pytest.approx(0.75)
+        assert by_target["x"].backward == pytest.approx(1.0)
+        assert by_target["y"].forward == pytest.approx(0.25)
+        assert by_target["y"].shared == 1
+
+    def test_edges_below_threshold_are_dropped(self):
+        tracker = MECTracker(edge_threshold=0.5)
+        old = snapshot(0.0, a={1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+        new = snapshot(1.0, x={1, 2, 3, 4, 5, 6, 7, 8, 9}, y={10, 11, 12, 13})
+        edges = tracker.build_graph(old, new)
+        # a -> y is only 0.1 forward and 0.25 backward: below threshold.
+        assert {(e.old_cluster, e.new_cluster) for e in edges} == {("a", "x")}
+
+    def test_graphs_are_recorded_per_observation(self):
+        tracker = MECTracker()
+        tracker.observe(snapshot(0.0, a={1, 2}))
+        tracker.observe(snapshot(1.0, b={1, 2}))
+        assert len(tracker.graphs) == 2
+        assert tracker.graphs[1][1]  # second observation has edges
+
+
+class TestTransitions:
+    def test_survival(self):
+        tracker = MECTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3, 4}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3, 5}))
+        survive = [t for t in transitions if t.transition_type == TransitionType.SURVIVE]
+        assert len(survive) == 1
+        assert survive[0].overlap == pytest.approx(0.75)
+
+    def test_split(self):
+        tracker = MECTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3, 4, 5, 6}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3}, y={4, 5, 6}))
+        splits = [t for t in transitions if t.transition_type == TransitionType.SPLIT]
+        assert len(splits) == 1
+        assert set(splits[0].new_clusters) == {"x", "y"}
+
+    def test_merge(self):
+        tracker = MECTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3}, b={4, 5, 6}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3, 4, 5, 6}))
+        merges = [t for t in transitions if t.transition_type == TransitionType.ABSORB]
+        assert len(merges) == 1
+        assert set(merges[0].old_clusters) == {"a", "b"}
+
+    def test_death(self):
+        tracker = MECTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3}, b={10, 11}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3}))
+        deaths = [t for t in transitions if t.transition_type == TransitionType.DISAPPEAR]
+        assert len(deaths) == 1
+        assert deaths[0].old_clusters == ("b",)
+
+    def test_birth(self):
+        tracker = MECTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3}, fresh={50, 51}))
+        births = [t for t in transitions if t.transition_type == TransitionType.EMERGE]
+        assert len(births) == 1
+        assert births[0].new_clusters == ("fresh",)
+
+    def test_counts(self):
+        tracker = MECTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3}, b={4, 5, 6}))
+        tracker.observe(snapshot(1.0, x={1, 2, 3, 4, 5, 6}))
+        counts = tracker.counts()
+        assert counts["absorb"] == 1
+        assert sum(counts.values()) == len(tracker.transitions)
+
+    def test_transitions_of_type(self):
+        tracker = MECTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3}))
+        tracker.observe(snapshot(1.0, x={1, 2, 3}))
+        assert tracker.transitions_of_type(TransitionType.SURVIVE)
+        assert tracker.transitions_of_type(TransitionType.SPLIT) == []
+
+    def test_agreement_with_monic_on_clean_sequence(self):
+        """MEC and MONIC should agree on an unambiguous merge-then-split story."""
+        from repro.tracking.monic import MonicTracker
+
+        snapshots = [
+            snapshot(0.0, a={1, 2, 3}, b={4, 5, 6}),
+            snapshot(1.0, m={1, 2, 3, 4, 5, 6}),
+            snapshot(2.0, p={1, 2, 3}, q={4, 5, 6}),
+        ]
+        mec = MECTracker()
+        monic = MonicTracker()
+        for snap in snapshots:
+            mec.observe(snap)
+            monic.observe(snap)
+        assert mec.counts()["absorb"] == monic.counts()["absorb"] == 1
+        assert mec.counts()["split"] == monic.counts()["split"] == 1

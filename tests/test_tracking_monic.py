@@ -1,0 +1,212 @@
+"""Tests for the MONIC offline transition tracker."""
+
+import pytest
+
+from repro.tracking.monic import MonicConfig, MonicTracker
+from repro.tracking.transitions import ClusterSnapshot, TransitionType, WeightedCluster
+
+
+def snapshot(time, **clusters):
+    """Build a snapshot from keyword member sets: a={1,2}, b={3}, ..."""
+    return ClusterSnapshot(
+        time=time,
+        clusters=[
+            WeightedCluster(cluster_id=name, members=frozenset(members))
+            for name, members in clusters.items()
+        ],
+    )
+
+
+class TestMonicConfig:
+    def test_defaults_are_valid(self):
+        config = MonicConfig()
+        assert 0 < config.split_threshold <= config.match_threshold <= 1
+
+    def test_invalid_match_threshold(self):
+        with pytest.raises(ValueError):
+            MonicConfig(match_threshold=0.0)
+        with pytest.raises(ValueError):
+            MonicConfig(match_threshold=1.5)
+
+    def test_split_threshold_must_not_exceed_match_threshold(self):
+        with pytest.raises(ValueError):
+            MonicConfig(match_threshold=0.3, split_threshold=0.5)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            MonicConfig(size_epsilon=-0.1)
+
+    def test_overrides_on_top_of_config(self):
+        tracker = MonicTracker(MonicConfig(match_threshold=0.6), split_threshold=0.2)
+        assert tracker.config.match_threshold == 0.6
+        assert tracker.config.split_threshold == 0.2
+
+
+class TestExternalTransitions:
+    def test_first_snapshot_emits_emerge(self):
+        tracker = MonicTracker()
+        transitions = tracker.observe(snapshot(0.0, a={1, 2}, b={3, 4}))
+        assert {t.transition_type for t in transitions} == {TransitionType.EMERGE}
+        assert len(transitions) == 2
+
+    def test_survival(self):
+        tracker = MonicTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3, 4}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3, 5}))
+        survive = [t for t in transitions if t.transition_type == TransitionType.SURVIVE]
+        assert len(survive) == 1
+        assert survive[0].old_clusters == ("a",)
+        assert survive[0].new_clusters == ("x",)
+        assert survive[0].overlap == pytest.approx(0.75)
+
+    def test_split(self):
+        tracker = MonicTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3, 4, 5, 6}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3}, y={4, 5, 6}))
+        splits = [t for t in transitions if t.transition_type == TransitionType.SPLIT]
+        assert len(splits) == 1
+        assert splits[0].old_clusters == ("a",)
+        assert set(splits[0].new_clusters) == {"x", "y"}
+
+    def test_absorption(self):
+        tracker = MonicTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3}, b={4, 5, 6}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3, 4, 5, 6}))
+        absorbs = [t for t in transitions if t.transition_type == TransitionType.ABSORB]
+        assert len(absorbs) == 1
+        assert set(absorbs[0].old_clusters) == {"a", "b"}
+        assert absorbs[0].new_clusters == ("x",)
+
+    def test_disappearance(self):
+        tracker = MonicTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3}, b={10, 11, 12}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3}))
+        disappear = [t for t in transitions if t.transition_type == TransitionType.DISAPPEAR]
+        assert len(disappear) == 1
+        assert disappear[0].old_clusters == ("b",)
+
+    def test_emergence(self):
+        tracker = MonicTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3}))
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 3}, fresh={20, 21}))
+        emerge = [t for t in transitions if t.transition_type == TransitionType.EMERGE]
+        assert len(emerge) == 1
+        assert emerge[0].new_clusters == ("fresh",)
+
+    def test_low_overlap_counts_as_disappearance(self):
+        tracker = MonicTracker(match_threshold=0.5, split_threshold=0.4)
+        tracker.observe(snapshot(0.0, a={1, 2, 3, 4, 5, 6, 7, 8, 9, 10}))
+        # Only 2 of 10 members survive anywhere.
+        transitions = tracker.observe(snapshot(1.0, x={1, 2, 100, 101, 102}))
+        types = {t.transition_type for t in transitions}
+        assert TransitionType.DISAPPEAR in types
+        assert TransitionType.SURVIVE not in types
+
+    def test_weighted_overlap_prefers_fresh_members(self):
+        # Old cluster has 4 members; the 2 that survive carry nearly all the
+        # weight, so MONIC still reports a survival.
+        old = ClusterSnapshot(
+            time=0.0,
+            clusters=[
+                WeightedCluster(
+                    cluster_id="a",
+                    members=frozenset({1, 2, 3, 4}),
+                    weights={1: 1.0, 2: 1.0, 3: 0.01, 4: 0.01},
+                )
+            ],
+        )
+        new = snapshot(1.0, x={1, 2})
+        tracker = MonicTracker()
+        tracker.observe(old)
+        transitions = tracker.observe(new)
+        survive = [t for t in transitions if t.transition_type == TransitionType.SURVIVE]
+        assert len(survive) == 1
+        assert survive[0].overlap > 0.9
+
+    def test_stateless_compare_does_not_touch_log(self):
+        tracker = MonicTracker()
+        transitions = tracker.compare(snapshot(0.0, a={1, 2}), snapshot(1.0, b={1, 2}))
+        assert transitions
+        assert tracker.external_transitions == []
+
+    def test_counts_report(self):
+        tracker = MonicTracker()
+        tracker.observe(snapshot(0.0, a={1, 2, 3}))
+        tracker.observe(snapshot(1.0, x={1, 2}, y={3, 50, 51}))
+        counts = tracker.counts()
+        assert sum(counts.values()) == len(tracker.external_transitions)
+
+
+class TestInternalTransitions:
+    def _survived_pair(self, old_members, new_members, old_locs, new_locs):
+        old = ClusterSnapshot.from_assignment(
+            time=0.0, assignment={m: "a" for m in old_members}, locations=old_locs
+        )
+        new = ClusterSnapshot.from_assignment(
+            time=1.0, assignment={m: "a" for m in new_members}, locations=new_locs
+        )
+        return old, new
+
+    def test_growth_detected(self):
+        tracker = MonicTracker(size_epsilon=0.1)
+        old, new = self._survived_pair(
+            {1, 2, 3},
+            {1, 2, 3, 4, 5},
+            {1: (0.0,), 2: (0.1,), 3: (0.2,)},
+            {1: (0.0,), 2: (0.1,), 3: (0.2,), 4: (0.15,), 5: (0.05,)},
+        )
+        tracker.observe(old)
+        tracker.observe(new)
+        types = {t.transition_type for t in tracker.internal_transitions}
+        assert TransitionType.GROW in types
+
+    def test_shrink_detected(self):
+        tracker = MonicTracker(size_epsilon=0.1)
+        old, new = self._survived_pair(
+            {1, 2, 3, 4, 5},
+            {1, 2, 3},
+            {i: (float(i),) for i in range(1, 6)},
+            {i: (float(i),) for i in range(1, 4)},
+        )
+        tracker.observe(old)
+        tracker.observe(new)
+        types = {t.transition_type for t in tracker.internal_transitions}
+        assert TransitionType.SHRINK in types
+
+    def test_shift_detected(self):
+        tracker = MonicTracker(shift_epsilon=0.5, size_epsilon=10.0)
+        old, new = self._survived_pair(
+            {1, 2, 3},
+            {1, 2, 3},
+            {1: (0.0, 0.0), 2: (0.1, 0.0), 3: (0.2, 0.0)},
+            {1: (5.0, 0.0), 2: (5.1, 0.0), 3: (5.2, 0.0)},
+        )
+        tracker.observe(old)
+        tracker.observe(new)
+        types = {t.transition_type for t in tracker.internal_transitions}
+        assert TransitionType.SHIFT in types
+
+    def test_compactness_transition(self):
+        tracker = MonicTracker(compactness_epsilon=0.1, size_epsilon=10.0)
+        old, new = self._survived_pair(
+            {1, 2, 3},
+            {1, 2, 3},
+            {1: (0.0,), 2: (1.0,), 3: (2.0,)},
+            {1: (0.9,), 2: (1.0,), 3: (1.1,)},
+        )
+        tracker.observe(old)
+        tracker.observe(new)
+        types = {t.transition_type for t in tracker.internal_transitions}
+        assert TransitionType.MORE_COMPACT in types
+
+    def test_no_internal_transition_when_stable(self):
+        tracker = MonicTracker()
+        old, new = self._survived_pair(
+            {1, 2, 3},
+            {1, 2, 3},
+            {1: (0.0,), 2: (1.0,), 3: (2.0,)},
+            {1: (0.0,), 2: (1.0,), 3: (2.0,)},
+        )
+        tracker.observe(old)
+        tracker.observe(new)
+        assert tracker.internal_transitions == []

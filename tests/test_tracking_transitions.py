@@ -1,0 +1,151 @@
+"""Tests for the shared transition types (repro.tracking.transitions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tracking.transitions import (
+    ClusterSnapshot,
+    ExternalTransition,
+    TransitionType,
+    WeightedCluster,
+    transition_counts,
+)
+
+
+class TestWeightedCluster:
+    def test_default_weight_is_one(self):
+        cluster = WeightedCluster(cluster_id="a", members=frozenset({1, 2, 3}))
+        assert cluster.weight_of(1) == 1.0
+        assert cluster.total_weight == pytest.approx(3.0)
+
+    def test_explicit_weights(self):
+        cluster = WeightedCluster(
+            cluster_id="a", members=frozenset({1, 2}), weights={1: 0.5, 2: 0.25}
+        )
+        assert cluster.total_weight == pytest.approx(0.75)
+
+    def test_overlap_weight_uses_own_weights(self):
+        a = WeightedCluster(
+            cluster_id="a", members=frozenset({1, 2, 3}), weights={1: 0.5, 2: 0.5, 3: 0.5}
+        )
+        b = WeightedCluster(cluster_id="b", members=frozenset({2, 3, 4}))
+        assert a.overlap_weight(b) == pytest.approx(1.0)
+        assert b.overlap_weight(a) == pytest.approx(2.0)
+
+    def test_len(self):
+        cluster = WeightedCluster(cluster_id=0, members=frozenset(range(5)))
+        assert len(cluster) == 5
+
+    def test_overlap_with_disjoint_cluster_is_zero(self):
+        a = WeightedCluster(cluster_id="a", members=frozenset({1, 2}))
+        b = WeightedCluster(cluster_id="b", members=frozenset({3, 4}))
+        assert a.overlap_weight(b) == 0.0
+
+
+class TestClusterSnapshot:
+    def test_duplicate_cluster_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSnapshot(
+                time=0.0,
+                clusters=[
+                    WeightedCluster(cluster_id="a", members=frozenset({1})),
+                    WeightedCluster(cluster_id="a", members=frozenset({2})),
+                ],
+            )
+
+    def test_cluster_lookup(self):
+        snapshot = ClusterSnapshot(
+            time=1.0,
+            clusters=[WeightedCluster(cluster_id="a", members=frozenset({1, 2}))],
+        )
+        assert snapshot.cluster("a").members == frozenset({1, 2})
+        with pytest.raises(KeyError):
+            snapshot.cluster("missing")
+
+    def test_all_members_union(self):
+        snapshot = ClusterSnapshot(
+            time=0.0,
+            clusters=[
+                WeightedCluster(cluster_id="a", members=frozenset({1, 2})),
+                WeightedCluster(cluster_id="b", members=frozenset({2, 3})),
+            ],
+        )
+        assert snapshot.all_members() == frozenset({1, 2, 3})
+
+    def test_from_assignment_excludes_noise(self):
+        snapshot = ClusterSnapshot.from_assignment(
+            time=0.0,
+            assignment={1: "a", 2: "a", 3: -1, 4: "b"},
+        )
+        assert set(snapshot.cluster_ids()) == {"a", "b"}
+        assert snapshot.cluster("a").members == frozenset({1, 2})
+        assert 3 not in snapshot.all_members()
+
+    def test_from_assignment_computes_centroid_and_dispersion(self):
+        snapshot = ClusterSnapshot.from_assignment(
+            time=0.0,
+            assignment={1: "a", 2: "a"},
+            locations={1: (0.0, 0.0), 2: (2.0, 0.0)},
+        )
+        cluster = snapshot.cluster("a")
+        assert cluster.centroid == pytest.approx((1.0, 0.0))
+        assert cluster.dispersion == pytest.approx(1.0)
+
+    def test_from_assignment_weights_are_kept(self):
+        snapshot = ClusterSnapshot.from_assignment(
+            time=0.0,
+            assignment={1: "a", 2: "a"},
+            weights={1: 0.25, 2: 0.75},
+        )
+        assert snapshot.cluster("a").total_weight == pytest.approx(1.0)
+
+    def test_empty_assignment_gives_empty_snapshot(self):
+        snapshot = ClusterSnapshot.from_assignment(time=0.0, assignment={})
+        assert len(snapshot) == 0
+        assert snapshot.all_members() == frozenset()
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=-1, max_value=4),
+            max_size=50,
+        )
+    )
+    def test_from_assignment_partitions_non_noise_objects(self, assignment):
+        snapshot = ClusterSnapshot.from_assignment(time=0.0, assignment=assignment)
+        non_noise = {obj for obj, cid in assignment.items() if cid != -1}
+        assert snapshot.all_members() == frozenset(non_noise)
+        # Each object appears in exactly one cluster.
+        seen = []
+        for cluster in snapshot:
+            seen.extend(cluster.members)
+        assert len(seen) == len(set(seen))
+
+
+class TestTransitionCounts:
+    def test_counts_zero_filled(self):
+        counts = transition_counts([])
+        assert counts["survive"] == 0
+        assert counts["split"] == 0
+
+    def test_counts_accumulate(self):
+        transitions = [
+            ExternalTransition(transition_type=TransitionType.SPLIT, time=1.0),
+            ExternalTransition(transition_type=TransitionType.SPLIT, time=2.0),
+            ExternalTransition(transition_type=TransitionType.EMERGE, time=2.0),
+        ]
+        counts = transition_counts(transitions)
+        assert counts["split"] == 2
+        assert counts["emerge"] == 1
+
+    def test_str_rendering(self):
+        transition = ExternalTransition(
+            transition_type=TransitionType.SURVIVE,
+            time=3.0,
+            old_clusters=("a",),
+            new_clusters=("b",),
+            overlap=0.8,
+        )
+        text = str(transition)
+        assert "survive" in text
+        assert "a" in text and "b" in text
