@@ -10,7 +10,9 @@ experiment alongside the recorded tables.
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any, Dict
 
 from repro.harness.results import ExperimentResult
 
@@ -24,6 +26,19 @@ def record(result: ExperimentResult) -> ExperimentResult:
     (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
     return result
+
+
+def record_json(payload: Dict[str, Any], filename: str) -> pathlib.Path:
+    """Write a machine-readable benchmark artifact to benchmarks/results/.
+
+    Used by the CI benchmark-smoke job, which uploads the file as a build
+    artifact and gates on the numbers inside it.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return path
 
 
 def run_once(benchmark, fn):

@@ -21,6 +21,7 @@ Quickstart::
 """
 
 from repro.core import (
+    BatchIngestor,
     ClusterCell,
     ClusterEvent,
     DecayModel,
@@ -35,6 +36,7 @@ from repro.core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchIngestor",
     "EDMStream",
     "EDMStreamConfig",
     "DecayModel",

@@ -14,7 +14,7 @@ phase uses it.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -15,7 +15,6 @@ border; sporadic sparse grids are removed periodically.
 
 from __future__ import annotations
 
-import itertools
 import math
 from collections import deque
 from dataclasses import dataclass

@@ -8,7 +8,7 @@ use and is deterministic given a seed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

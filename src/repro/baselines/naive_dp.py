@@ -15,7 +15,7 @@ mountain formulation itself (see ``benchmarks/bench_ablation_dptree.py``).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

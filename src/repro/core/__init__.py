@@ -17,6 +17,7 @@ The sub-modules follow the structure of the paper:
 """
 
 from repro.core.adaptive_tau import TauOptimizer
+from repro.core.batch import BatchIngestor
 from repro.core.cell import ClusterCell
 from repro.core.config import EDMStreamConfig
 from repro.core.decay import DecayModel
@@ -33,6 +34,7 @@ from repro.core.persistence import (
 )
 
 __all__ = [
+    "BatchIngestor",
     "DecayModel",
     "ClusterCell",
     "DPTree",

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 def evaluation_function(tau: float, deltas: Sequence[float], alpha: float) -> float:
@@ -63,6 +65,47 @@ def evaluation_function(tau: float, deltas: Sequence[float], alpha: float) -> fl
     inter_term = (len(inter) * mean_delta) / sum(inter)
     intra_term = sum(intra) / (len(intra) * mean_delta)
     return alpha * inter_term + (1.0 - alpha) * intra_term
+
+
+def _score_components(
+    deltas: Sequence[float], candidates: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-candidate objective components ``(A, B)`` with ``F = α·A + (1-α)·B``.
+
+    ``A`` is the inter term ``(n·δ̄)/Σ_{δ>τ} δ`` and ``B`` the intra term
+    ``Σ_{δ≤τ} δ/(m·δ̄)`` of :func:`evaluation_function`, evaluated for every
+    candidate τ in one vectorised pass; degenerate partitions score ``inf``.
+    Both components are independent of α, which lets :meth:`TauOptimizer.learn_alpha`
+    scan its whole α grid against a single evaluation of this function.
+    """
+    taus = np.asarray(candidates, dtype=float)
+    finite = np.asarray(
+        [d for d in deltas if d > 0 and math.isfinite(d)], dtype=float
+    )
+    invalid = np.full(taus.shape, np.inf)
+    if finite.size == 0:
+        return invalid, invalid
+    mean_delta = float(finite.mean())
+    if mean_delta <= 0:
+        return invalid, invalid
+    # Partition sums for every candidate via prefix sums over the sorted δ
+    # values — O((n + C) log n) time and O(n + C) memory, where a dense
+    # (candidates × deltas) mask would be quadratic in the active-cell count.
+    finite = np.sort(finite)
+    prefix = np.concatenate(([0.0], np.cumsum(finite)))
+    total = prefix[-1]
+    intra_count = np.searchsorted(finite, taus, side="right")
+    inter_count = finite.size - intra_count
+    intra_sum = prefix[intra_count]
+    inter_sum = total - intra_sum
+    valid = (inter_count > 0) & (intra_count > 0)
+    inter_term = np.divide(
+        inter_count * mean_delta, inter_sum, out=np.full(taus.shape, np.inf), where=valid
+    )
+    intra_term = np.divide(
+        intra_sum, intra_count * mean_delta, out=np.full(taus.shape, np.inf), where=valid
+    )
+    return inter_term, intra_term
 
 
 def candidate_taus(deltas: Sequence[float]) -> List[float]:
@@ -120,10 +163,12 @@ class TauOptimizer:
             self.alpha = 0.5
             return self.alpha
 
+        inter_term, intra_term = _score_components(deltas, candidates)
         scored: List[Tuple[float, float]] = []
         for i in range(1, self.alpha_grid_size + 1):
             alpha = i / (self.alpha_grid_size + 1)
-            optimal_tau = self._argmin_tau(alpha, deltas, candidates)
+            values = alpha * inter_term + (1.0 - alpha) * intra_term
+            optimal_tau = candidates[int(np.argmin(values))]
             # Score: how far the α-optimal τ lands from the user's τ₀,
             # normalised by τ₀ so the scale of δ does not matter.
             scored.append((abs(optimal_tau - tau0) / tau0, alpha))
@@ -141,14 +186,9 @@ class TauOptimizer:
     ) -> float:
         if candidates is None:
             candidates = candidate_taus(deltas)
-        best_tau = candidates[0]
-        best_value = float("inf")
-        for tau in candidates:
-            value = evaluation_function(tau, deltas, alpha)
-            if value < best_value:
-                best_value = value
-                best_tau = tau
-        return best_tau
+        inter_term, intra_term = _score_components(deltas, candidates)
+        values = alpha * inter_term + (1.0 - alpha) * intra_term
+        return candidates[int(np.argmin(values))]
 
     def optimize(
         self,
@@ -172,11 +212,13 @@ class TauOptimizer:
             if fallback is not None:
                 return fallback
             raise ValueError("cannot optimise tau with no finite dependent distances")
-        best_value = min(evaluation_function(tau, deltas, self.alpha) for tau in candidates)
-        if not math.isfinite(best_value) and fallback is not None:
+        inter_term, intra_term = _score_components(deltas, candidates)
+        values = self.alpha * inter_term + (1.0 - self.alpha) * intra_term
+        best = int(np.argmin(values))
+        if not math.isfinite(float(values[best])) and fallback is not None:
             tau = fallback
         else:
-            tau = self._argmin_tau(self.alpha, deltas, candidates)
+            tau = candidates[best]
         if time is not None:
             self.history.append((time, tau))
         return tau

@@ -1,0 +1,518 @@
+"""Micro-batch ingestion for EDMStream.
+
+:class:`BatchIngestor` processes a stream in micro-batches while producing
+the same cell populations and cluster partitions as the per-point
+:meth:`~repro.core.edmstream.EDMStream.learn_one` loop.  The speed-up comes
+from three observations about the per-point work of Section 4:
+
+1. **Assignment is a pure nearest-seed query.**  Which cell absorbs a point
+   depends only on the set of seeds (seeds never move, Definition 4), so the
+   point→seed distances of a whole batch can be computed as one vectorised
+   matrix operation against the :class:`~repro.core.cellstore.CellStore`
+   seed matrix.  Points that fall outside every existing cell are replayed
+   against the (few) seeds created earlier in the same batch.
+
+2. **Density updates compose.**  A cell absorbing ``k`` points inside a
+   batch ends at ``ρ·a^{λΔ} + Σ a^{λ(t_k - t_i)}`` (Equation 8 applied ``k``
+   times), which :meth:`~repro.core.decay.DecayModel.batch_absorb` evaluates
+   once per (cell, batch) — with the closed-form geometric sum for evenly
+   spaced arrivals.
+
+3. **Dependencies depend only on the final density order.**  Pure decay
+   preserves the relative density order of any two cells (both shrink by
+   the same factor per unit time), so within a batch the order changes only
+   at absorptions and the set of higher-density cells seen by a non-absorbing
+   cell can only gain members.  Deferring the Theorem 1 / Theorem 2 filtered
+   updates to the batch boundary therefore reaches the same fixed point: the
+   "dirty" cells (absorbers and newly activated cells) get one exact
+   dependency recomputation each, and every other active cell only needs to
+   be checked against the dirty cells that now dominate it — one distance
+   matrix per batch instead of one filtered pass per point.
+
+Periodic work (decay sweeps, τ re-optimisation, evolution snapshots) and the
+initial DP-Tree construction fire at stream-time boundaries, so batches are
+split into *chunks* at exactly the points where the sequential path would
+have triggered them; the model's own maintenance code then runs on identical
+state.
+
+Equivalence caveats: (1) *tie-breaking* — both paths share the canonical
+rules (nearest seed / dominator with the smallest cell id wins exact
+distance ties, density ties order by id), so exact ties resolve
+identically; (2) *float rounding* — a multi-absorption batch evaluates the
+same Equation 8 quantity through one closed-form sum instead of per-point
+steps, so densities agree to ~1e-12 relative rather than bit-for-bit, and
+a density comparison sitting within one ulp of a threshold (activation,
+dominance) can in principle resolve differently.  Away from such
+knife-edges the two paths produce identical cell populations and
+partitions, which ``tests/test_batch_ingest.py`` enforces on numeric,
+drifting and Jaccard streams.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cell import ClusterCell
+from repro.distance.metrics import pairwise_euclidean
+from repro.streams.point import StreamPoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.edmstream import EDMStream
+
+#: Chunk boundary kinds produced by the trigger scan.
+_INIT = "init"
+_PERIODIC = "periodic"
+
+
+class BatchIngestor:
+    """Ingest micro-batches of stream points into an :class:`EDMStream`.
+
+    Parameters
+    ----------
+    model:
+        The model to feed.  The ingestor is a *friend* of the model: it
+        manipulates the same stores, reservoir and DP-Tree the sequential
+        path does, through the model's own maintenance entry points.
+    batch_size:
+        Number of points gathered before a micro-batch is flushed.
+    """
+
+    def __init__(self, model: "EDMStream", batch_size: int = 256) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.model = model
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def ingest(self, stream: Iterable[StreamPoint]) -> List[int]:
+        """Ingest an iterable of stream points; returns absorbing cell ids."""
+        assigned: List[int] = []
+        batch: List[StreamPoint] = []
+        for point in stream:
+            batch.append(point)
+            if len(batch) >= self.batch_size:
+                assigned.extend(self.ingest_batch(batch))
+                batch.clear()
+        if batch:
+            assigned.extend(self.ingest_batch(batch))
+        return assigned
+
+    def ingest_batch(self, points: Sequence[StreamPoint]) -> List[int]:
+        """Ingest one micro-batch; returns the absorbing cell id per point."""
+        if not points:
+            return []
+        model = self.model
+        started = _time.perf_counter()
+
+        if model._numeric:
+            # One C-level conversion for the whole batch; cells created from
+            # these rows get the same tuple-of-floats seeds the sequential
+            # path builds via ``_prepare``.
+            values: Any = np.asarray([point.values for point in points], dtype=float)
+        else:
+            values = [point.values for point in points]
+        times, labels = self._timeline(points)
+        if model._start_time is None:
+            first = points[0].timestamp
+            model._start_time = float(times[0] if first is None else first)
+
+        assigned: List[int] = [0] * len(points)
+        start = 0
+        for end, kind in self._chunk_plan(times):
+            self._process_chunk(values, times, labels, start, end, assigned)
+            now = float(times[end])
+            if kind == _INIT:
+                model._initialize(now)
+            elif model._initialized:
+                model._periodic_work(now)
+            start = end + 1
+
+        model.total_learn_seconds += _time.perf_counter() - started
+        return assigned
+
+    # ------------------------------------------------------------------ #
+    # timeline and chunk planning
+    # ------------------------------------------------------------------ #
+    def _timeline(self, points: Sequence[StreamPoint]) -> Tuple[np.ndarray, List[Optional[int]]]:
+        """Per-point observation times (running max, as ``learn_one`` sees)."""
+        model = self.model
+        now = model._now
+        labels = [point.label for point in points]
+        raw = [point.timestamp for point in points]
+        if None not in raw:
+            times = np.asarray(raw, dtype=float)
+            if times[0] <= now or np.any(np.diff(times) < 0.0):
+                np.maximum.accumulate(np.maximum(times, now), out=times)
+            return times, labels
+        n_points = model._n_points
+        rate = model.config.stream_rate
+        times = np.empty(len(points), dtype=float)
+        for i, timestamp in enumerate(raw):
+            if timestamp is None:
+                timestamp = now + 1.0 / rate if n_points else 0.0
+            if timestamp > now:
+                now = timestamp
+            times[i] = now
+            n_points += 1
+        return times, labels
+
+    def _chunk_plan(self, times: np.ndarray) -> List[Tuple[int, Optional[str]]]:
+        """Split the batch where the sequential path would run boundary work.
+
+        Returns ``(last_index, kind)`` pairs; ``kind`` is ``"init"`` when the
+        initialisation threshold is reached at that point, ``"periodic"``
+        when any maintenance / τ / snapshot trigger fires there, and ``None``
+        for the trailing batch remainder.  The scan mirrors the trigger
+        bookkeeping of ``learn_one`` so chunk boundaries land on exactly the
+        points where the sequential path acts.
+        """
+        model = self.model
+        config = model.config
+        n_points = model._n_points
+        initialized = model._initialized
+        last_maintenance = model._last_maintenance
+        last_tau = model._last_tau_opt
+        last_snapshot = model._last_snapshot
+        last_time = float(times[-1])
+        if initialized and (
+            last_time - last_maintenance < config.maintenance_interval
+            and (not config.adaptive_tau or last_time - last_tau < config.tau_reoptimize_interval)
+            and last_time - last_snapshot < config.snapshot_interval
+        ):
+            # Fast path: no trigger can fire anywhere in this batch.
+            return [(times.shape[0] - 1, None)]
+        plan: List[Tuple[int, Optional[str]]] = []
+        for i in range(times.shape[0]):
+            t = float(times[i])
+            n_points += 1
+            if not initialized:
+                if n_points >= config.init_size:
+                    plan.append((i, _INIT))
+                    initialized = True
+                    last_maintenance = last_tau = last_snapshot = t
+                continue
+            fired = False
+            if t - last_maintenance >= config.maintenance_interval:
+                last_maintenance = t
+                fired = True
+            if config.adaptive_tau and t - last_tau >= config.tau_reoptimize_interval:
+                last_tau = t
+                fired = True
+            if t - last_snapshot >= config.snapshot_interval:
+                last_snapshot = t
+                fired = True
+            if fired:
+                plan.append((i, _PERIODIC))
+        if not plan or plan[-1][0] != times.shape[0] - 1:
+            plan.append((times.shape[0] - 1, None))
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # one chunk: assignment, absorption, activation, dependency repair
+    # ------------------------------------------------------------------ #
+    def _process_chunk(
+        self,
+        values: Any,
+        times: np.ndarray,
+        labels: List[Optional[int]],
+        start: int,
+        end: int,
+        assigned: List[int],
+    ) -> None:
+        model = self.model
+        chunk_values = values[start : end + 1]
+        chunk_times = times[start : end + 1]
+        model._n_points += len(chunk_values)
+        model._now = float(chunk_times[-1])
+
+        absorptions = self._assign_chunk(chunk_values, chunk_times, labels, start, assigned)
+        dirty = self._apply_absorptions(absorptions, chunk_times, labels, start)
+        if model._initialized and dirty:
+            started = _time.perf_counter()
+            self._repair_dependencies(dirty, float(chunk_times[-1]))
+            model.dependency_update_seconds += _time.perf_counter() - started
+
+    def _assign_chunk(
+        self,
+        chunk_values: Any,
+        chunk_times: np.ndarray,
+        labels: List[Optional[int]],
+        offset: int,
+        assigned: List[int],
+    ) -> Dict[int, List[int]]:
+        """Vectorised nearest-seed assignment for one chunk.
+
+        Existing seeds are queried through one distance-matrix computation
+        per store.  Each seed created inside the chunk updates the remaining
+        points' best-new-seed distance with one vectorised pass, so later
+        points of the same chunk can still be absorbed by it, exactly as in
+        the sequential path.  Returns absorbed point indices (chunk-local)
+        grouped per absorbing cell, in first-absorption order.
+        """
+        model = self.model
+        radius = model.config.radius
+        numeric = model._numeric
+        metric = model._metric
+
+        active_best, active_best_id = model._active.nearest_many(chunk_values, within=radius)
+        inactive_best, inactive_best_id = model._inactive.nearest_many(chunk_values, within=radius)
+
+        size = len(chunk_values)
+        # Canonical combine of the two stores, vectorised across the chunk.
+        if active_best is None:
+            store_best, store_best_id = inactive_best, inactive_best_id
+        elif inactive_best is None:
+            store_best, store_best_id = active_best, active_best_id
+        else:
+            take = (inactive_best < active_best) | (
+                (inactive_best == active_best) & (inactive_best_id < active_best_id)
+            )
+            store_best = np.where(take, inactive_best, active_best)
+            store_best_id = np.where(take, inactive_best_id, active_best_id)
+
+        absorptions: Dict[int, List[int]] = {}
+        # Up to the first point that seeds a new cell, assignments depend
+        # only on the pre-chunk stores and resolve without a Python loop —
+        # in steady state that is the entire chunk.
+        if store_best is None:
+            first_create = 0
+        else:
+            outside = store_best > radius
+            first_create = int(np.argmax(outside)) if outside.any() else size
+        if first_create:
+            prefix = store_best_id[:first_create]
+            assigned[offset : offset + first_create] = prefix.tolist()
+            unique_ids, inverse = np.unique(prefix, return_inverse=True)
+            order = np.argsort(inverse, kind="stable")
+            groups = np.split(order, np.cumsum(np.bincount(inverse))[:-1])
+            for unique_id, group in zip(unique_ids, groups):
+                absorptions[int(unique_id)] = group.tolist()
+        if first_create >= size:
+            return absorptions
+
+        # Nearest chunk-created seed per point; strictly-smaller updates keep
+        # the earliest-created (smallest-id) seed on exact ties, and since
+        # chunk-created cells carry the largest ids overall, a tie against a
+        # pre-existing seed also resolves canonically.  All chunk-internal
+        # distances come from one lazily computed pairwise matrix.
+        fresh_best = np.full(size, math.inf)
+        fresh_id = np.zeros(size, dtype=np.int64)
+        chunk_pairs: Optional[np.ndarray] = None
+
+        for j in range(first_create, size):
+            value = chunk_values[j]
+            best_id: Optional[int] = None
+            best_distance = math.inf
+            if store_best is not None:
+                best_id = int(store_best_id[j])
+                best_distance = float(store_best[j])
+            if fresh_best[j] < best_distance:
+                best_id = int(fresh_id[j])
+                best_distance = float(fresh_best[j])
+
+            if best_id is not None and best_distance <= radius:
+                absorptions.setdefault(best_id, []).append(j)
+                assigned[offset + j] = best_id
+                continue
+
+            cell = ClusterCell(
+                seed=tuple(float(v) for v in value) if numeric else value,
+                density=1.0,
+                created_at=float(chunk_times[j]),
+                last_update=float(chunk_times[j]),
+                last_absorb=float(chunk_times[j]),
+            )
+            label = labels[offset + j]
+            if label is not None:
+                cell.label_votes[label] = 1
+            model.reservoir.add(cell)
+            model._inactive.add(cell)
+            assigned[offset + j] = cell.cell_id
+            if j + 1 >= size:
+                continue
+            if numeric:
+                # Same shared kernel as the stores, for bit-identical
+                # distances to what later store queries will report.
+                if chunk_pairs is None:
+                    chunk_pairs = pairwise_euclidean(chunk_values, chunk_values)
+                distances = chunk_pairs[j + 1 :, j]
+            else:
+                distances = np.asarray(
+                    [metric(chunk_values[i], value) for i in range(j + 1, size)],
+                    dtype=float,
+                )
+            better = distances < fresh_best[j + 1 :]
+            fresh_best[j + 1 :][better] = distances[better]
+            fresh_id[j + 1 :][better] = cell.cell_id
+        return absorptions
+
+    def _apply_absorptions(
+        self,
+        absorptions: Dict[int, List[int]],
+        chunk_times: np.ndarray,
+        labels: List[Optional[int]],
+        offset: int,
+    ) -> List[int]:
+        """Apply per-(cell, chunk) density updates; returns the dirty cells.
+
+        Dirty cells are the active absorbers plus the inactive cells whose
+        density trajectory crossed the activation threshold inside the chunk
+        (activated here, in crossing order, mirroring the sequential path's
+        emergence handling).
+        """
+        model = self.model
+        decay = model.decay
+        initialized = model._initialized
+        dirty: List[int] = []
+        to_activate: List[Tuple[int, int]] = []
+        for cell_id, indices in absorptions.items():
+            in_tree = cell_id in model.tree
+            crossing: Optional[int] = None
+            if len(indices) == 1:
+                # Scalar fast path: one absorption is exactly Equation 8 (and
+                # bit-identical to ``ClusterCell.absorb``).
+                last = float(chunk_times[indices[0]])
+                cell = model.tree.get(cell_id) if in_tree else model.reservoir.get(cell_id)
+                cell.density = (
+                    decay.decay_density(cell.density, max(0.0, last - cell.last_update)) + 1.0
+                )
+                if not in_tree and initialized and cell.density >= model.active_threshold(last):
+                    crossing = indices[0]
+            else:
+                arrivals = chunk_times[indices]
+                last = float(arrivals[-1])
+                if in_tree:
+                    cell = model.tree.get(cell_id)
+                    cell.density = float(
+                        decay.batch_absorb(cell.density, cell.last_update, arrivals)
+                    )
+                else:
+                    cell = model.reservoir.get(cell_id)
+                    if initialized:
+                        trajectory = decay.absorb_trajectory(
+                            cell.density, cell.last_update, arrivals
+                        )
+                        crossed = np.flatnonzero(trajectory >= self._thresholds_at(arrivals))
+                        if crossed.size:
+                            crossing = indices[int(crossed[0])]
+                        cell.density = float(trajectory[-1])
+                    else:
+                        cell.density = float(
+                            decay.batch_absorb(cell.density, cell.last_update, arrivals)
+                        )
+            cell.last_update = last
+            cell.last_absorb = last
+            cell.points_absorbed += len(indices)
+            for index in indices:
+                label = labels[offset + index]
+                if label is not None:
+                    cell.label_votes[label] = cell.label_votes.get(label, 0) + 1
+            if in_tree:
+                model._active.update_density(cell_id, cell.density, cell.last_update)
+                dirty.append(cell_id)
+            else:
+                model._inactive.update_density(cell_id, cell.density, cell.last_update)
+                if crossing is not None:
+                    to_activate.append((crossing, cell_id))
+
+        to_activate.sort()
+        for _, cell_id in to_activate:
+            cell = model.reservoir.pop(cell_id)
+            model._inactive.remove(cell_id)
+            cell.dependency = None
+            cell.delta = math.inf
+            model.tree.insert(cell)
+            model._active.add(cell)
+            dirty.append(cell_id)
+        return dirty
+
+    def _thresholds_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`EDMStream.active_threshold` over several times."""
+        model = self.model
+        decay = model.decay
+        steady = decay.active_threshold(model.config.beta, model.config.stream_rate)
+        if model._start_time is None:
+            return np.full(times.shape, max(1.0, steady))
+        elapsed = np.maximum(0.0, times - model._start_time)
+        warmup = 1.0 - decay.a ** (decay.lam * elapsed)
+        return np.maximum(1.0 + 1e-12, steady * warmup)
+
+    def _repair_dependencies(self, dirty: List[int], now: float) -> None:
+        """Bring the DP-Tree to the sequential path's fixed point (Eq. 7/9).
+
+        One distance matrix between the dirty seeds and every active seed
+        serves both directions of the Section 4.2 update: each dirty cell's
+        own dependency is recomputed exactly (row-wise argmin over the cells
+        that dominate it), and every other active cell is repointed to the
+        nearest dirty cell that newly dominates it (column-wise minimum,
+        strict improvement only) — the batch-granular analogue of the
+        Theorem 1 density filter, since only dirty cells can have entered
+        anyone's higher-density set since the last boundary.
+        """
+        model = self.model
+        store = model._active
+        tree = model.tree
+        size = len(store)
+        if size == 0:
+            return
+        ids = np.asarray(store.ids())
+        densities = store.densities_at(now, model.decay)
+        deltas = store.deltas()
+        positions = np.asarray([store.position_of(cell_id) for cell_id in dirty])
+        matrix = store.cross_distances(positions)
+        model.filter.stats.distance_computations += int(matrix.size - len(dirty))
+
+        dirty_rho = densities[positions]
+        dirty_ids = ids[positions]
+        same = densities[None, :] == dirty_rho[:, None]
+        higher = (densities[None, :] > dirty_rho[:, None]) | (
+            same & (ids[None, :] < dirty_ids[:, None])
+        )
+
+        # Own dependencies of the dirty cells: exact canonical argmin over
+        # dominators — nearest first, smallest cell id among exact ties
+        # (mirrors ``EDMStream._recompute_dependency``).
+        candidates = np.where(higher, matrix, np.inf)
+        best_distance = np.min(candidates, axis=1)
+        for row, cell_id in enumerate(dirty):
+            cell = tree.get(cell_id)
+            if np.isinf(best_distance[row]):
+                dependency, delta = None, math.inf
+            else:
+                delta = float(best_distance[row])
+                tied = np.flatnonzero(candidates[row] == best_distance[row])
+                dependency = int(np.min(ids[tied]))
+            if dependency != cell.dependency or delta != cell.delta:
+                model.filter.stats.dependency_changes += 1
+            tree.set_dependency(cell_id, dependency, delta)
+            store.update_delta(cell_id, delta)
+
+        # Other active cells: the dirty cells are the only possible new
+        # entrants to their higher-density sets, so the canonical column
+        # minimum against the current (δ, dependency id) finds every
+        # required repoint (mirrors ``EDMStream._lex_improves``).
+        if size > 1:
+            dominated = (densities[None, :] < dirty_rho[:, None]) | (
+                same & (ids[None, :] > dirty_ids[:, None])
+            )
+            entrants = np.where(dominated, matrix, np.inf)
+            entrant_distance = np.min(entrants, axis=0)
+            improvable = entrant_distance <= deltas
+            improvable &= np.isfinite(entrant_distance)
+            improvable[positions] = False
+            for column in np.flatnonzero(improvable):
+                delta = float(entrant_distance[column])
+                tied = np.flatnonzero(entrants[:, column] == entrant_distance[column])
+                parent = int(np.min(dirty_ids[tied]))
+                cell_id = int(ids[column])
+                if not model._lex_improves(delta, parent, cell_id, float(deltas[column])):
+                    continue
+                tree.set_dependency(cell_id, parent, delta)
+                store.update_delta(cell_id, delta)
+                model.filter.stats.dependency_changes += 1

@@ -22,12 +22,18 @@ import numpy as np
 
 from repro.core.cell import ClusterCell
 from repro.core.decay import DecayModel
+from repro.distance.metrics import pairwise_euclidean
 
 _INITIAL_CAPACITY = 64
 
 
 class CellStore:
     """Append-friendly vectorised view over a population of cluster-cells."""
+
+    #: Store size above which :meth:`nearest_many` with ``within`` switches
+    #: to the norm-window pruned scan (class attribute so tests can lower it
+    #: and exercise the pruned path on small streams).
+    prune_threshold = 512
 
     def __init__(self, numeric: bool = True, metric: Optional[Callable[[Any, Any], float]] = None) -> None:
         if not numeric and metric is None:
@@ -41,6 +47,7 @@ class CellStore:
         self._capacity = _INITIAL_CAPACITY
         self._size = 0
         self._seeds: Optional[np.ndarray] = None
+        self._norms = np.zeros(self._capacity, dtype=float)
         self._density = np.zeros(self._capacity, dtype=float)
         self._last_update = np.zeros(self._capacity, dtype=float)
         self._delta = np.full(self._capacity, np.inf, dtype=float)
@@ -80,7 +87,7 @@ class CellStore:
             seeds = np.zeros((new_capacity, self._seeds.shape[1]), dtype=float)
             seeds[: self._size] = self._seeds[: self._size]
             self._seeds = seeds
-        for name in ("_density", "_last_update", "_delta"):
+        for name in ("_norms", "_density", "_last_update", "_delta"):
             old = getattr(self, name)
             new = np.full(new_capacity, np.inf if name == "_delta" else 0.0, dtype=float)
             new[: self._size] = old[: self._size]
@@ -108,6 +115,7 @@ class CellStore:
                 grown[: self._size] = self._seeds[: self._size]
                 self._seeds = grown
             self._seeds[position] = seed
+            self._norms[position] = np.einsum("i,i->", seed, seed)
         self._cells[cell.cell_id] = cell
         self._index[cell.cell_id] = position
         self._ids.append(cell.cell_id)
@@ -132,6 +140,7 @@ class CellStore:
             self._delta[position] = self._delta[last]
             if self._numeric and self._seeds is not None:
                 self._seeds[position] = self._seeds[last]
+                self._norms[position] = self._norms[last]
         self._ids.pop()
         self._size -= 1
         return cell
@@ -177,9 +186,8 @@ class CellStore:
         if self._size == 0:
             return np.empty(0, dtype=float)
         if self._numeric and self._seeds is not None:
-            query = np.asarray(point, dtype=float)
-            diffs = self._seeds[: self._size] - query
-            return np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            query = np.asarray(point, dtype=float).reshape(1, -1)
+            return pairwise_euclidean(query, self._seeds[: self._size])[0]
         metric = self._metric
         return np.asarray(
             [metric(point, self._cells[cid].seed) for cid in self._ids], dtype=float
@@ -199,15 +207,159 @@ class CellStore:
         if len(positions) == 0:
             return np.empty(0, dtype=float)
         if self._numeric and self._seeds is not None:
-            query = np.asarray(point, dtype=float)
-            rows = self._seeds[positions]
-            diffs = rows - query
-            return np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            query = np.asarray(point, dtype=float).reshape(1, -1)
+            return pairwise_euclidean(query, self._seeds[positions])[0]
         metric = self._metric
         return np.asarray(
             [metric(point, self._cells[self._ids[int(p)]].seed) for p in positions],
             dtype=float,
         )
+
+    def distances_to_many(self, points: Sequence[Any]) -> np.ndarray:
+        """Distance matrix from several query points to every stored seed.
+
+        Returns an array of shape ``(len(points), len(self))`` whose rows are
+        bit-identical to what :meth:`distances_to` returns for each query —
+        both run through the shared row-consistent kernel, so the batch
+        ingestion path sees exactly the distances the sequential path sees.
+        """
+        n = len(points)
+        if n == 0 or self._size == 0:
+            return np.empty((n, self._size), dtype=float)
+        if self._numeric and self._seeds is not None:
+            queries = np.asarray(points, dtype=float)
+            return pairwise_euclidean(queries, self._seeds[: self._size])
+        metric = self._metric
+        return np.asarray(
+            [[metric(point, self._cells[cid].seed) for cid in self._ids] for point in points],
+            dtype=float,
+        )
+
+    def cross_distances(self, positions: np.ndarray) -> np.ndarray:
+        """Distances from the seeds at ``positions`` to every stored seed.
+
+        Shape ``(len(positions), len(self))``; row ``i`` equals
+        ``seed_distances(id_at(positions[i]))``.  One call serves a whole
+        batch of dependency updates: row ``i`` answers "who could cell i
+        depend on" while column ``j`` answers "could cell j now depend on one
+        of these".
+        """
+        if len(positions) == 0:
+            return np.empty((0, self._size), dtype=float)
+        if self._numeric and self._seeds is not None:
+            return pairwise_euclidean(
+                self._seeds[np.asarray(positions, dtype=int)], self._seeds[: self._size]
+            )
+        return self.distances_to_many(
+            [self._cells[self._ids[int(p)]].seed for p in positions]
+        )
+
+    def nearest_many(
+        self, points: Sequence[Any], within: Optional[float] = None
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Per-query nearest seed as ``(distances, cell_ids)`` arrays.
+
+        Equivalent to taking the row minima of :meth:`distances_to_many`
+        (same per-element arithmetic, same canonical smallest-id rule on
+        exact distance ties) but computed over seed blocks sized to stay
+        cache-resident, so the full ``(queries, cells)`` matrix never has to
+        round-trip through memory.  Returns ``(None, None)`` when the store
+        is empty.
+
+        When ``within`` is given, seeds provably farther than ``within`` from
+        a query (by the norm bound ``|‖q‖ - ‖s‖| ≤ ‖q - s‖``) may be skipped:
+        any result at most ``within`` away is still the exact global nearest
+        with exact tie-breaking, while a result beyond ``within`` only
+        promises that *no* seed lies within ``within`` (its distance/id may
+        be those of a non-nearest seed, or ``inf``/-1).  Sorting the seeds by
+        norm is amortised over the whole query batch — this is the
+        micro-batch ingestion path's assignment query, where only coverage
+        within the cell radius matters.
+        """
+        n = len(points)
+        if n == 0 or self._size == 0:
+            return None, None
+        if not (self._numeric and self._seeds is not None):
+            return self._merge_minima(
+                self.distances_to_many(points), np.asarray(self._ids), None, None
+            )
+        queries = np.asarray(points, dtype=float)
+        ids = np.asarray(self._ids)
+        if within is not None and self._size > self.prune_threshold:
+            return self._nearest_many_pruned(queries, ids, within)
+        block = max(1, 2_000_000 // max(1, 8 * n))
+        best = best_id = None
+        for start in range(0, self._size, block):
+            stop = min(self._size, start + block)
+            distances = pairwise_euclidean(queries, self._seeds[start:stop])
+            best, best_id = self._merge_minima(distances, ids[start:stop], best, best_id)
+        return best, best_id
+
+    def _nearest_many_pruned(
+        self, queries: np.ndarray, ids: np.ndarray, within: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Norm-windowed nearest query (see :meth:`nearest_many`).
+
+        Queries are processed in norm-sorted groups; each group only scans
+        the seeds whose norm falls inside the group's ``± within`` window
+        (padded by a relative epsilon so float rounding of the norms can
+        never exclude a seed that is genuinely within ``within``).
+        """
+        n = queries.shape[0]
+        seed_norm = np.sqrt(self._norms[: self._size])
+        seed_order = np.argsort(seed_norm, kind="stable")
+        seed_norm_sorted = seed_norm[seed_order]
+        query_norm = np.sqrt(np.einsum("ij,ij->i", queries, queries))
+        query_order = np.argsort(query_norm, kind="stable")
+        best = np.full(n, np.inf)
+        best_id = np.full(n, -1, dtype=np.int64)
+        for start in range(0, n, 64):
+            rows = query_order[start : start + 64]
+            low = float(query_norm[rows[0]])
+            high = float(query_norm[rows[-1]])
+            margin = within + 1e-9 * (high + within)
+            first = int(np.searchsorted(seed_norm_sorted, low - margin, side="left"))
+            last = int(np.searchsorted(seed_norm_sorted, high + margin, side="right"))
+            if first >= last:
+                continue
+            candidates = seed_order[first:last]
+            distances = pairwise_euclidean(queries[rows], self._seeds[candidates])
+            group_best, group_id = self._merge_minima(distances, ids[candidates], None, None)
+            best[rows] = group_best
+            best_id[rows] = group_id
+        return best, best_id
+
+    @staticmethod
+    def _merge_minima(
+        distances: np.ndarray,
+        ids: np.ndarray,
+        best: Optional[np.ndarray],
+        best_id: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold one distance block into running per-row ``(min, min id)``.
+
+        Exact distance ties resolve to the smallest cell id, both inside a
+        block and across blocks — the canonical rule shared with
+        ``EDMStream._nearest_seed``.
+        """
+        positions = np.argmin(distances, axis=1)
+        rows = np.arange(distances.shape[0])
+        block_best = distances[rows, positions]
+        block_id = ids[positions]
+        tie_rows = np.flatnonzero(
+            np.count_nonzero(distances == block_best[:, None], axis=1) > 1
+        )
+        for row in tie_rows:
+            tied = np.flatnonzero(distances[row] == block_best[row])
+            block_id[row] = ids[tied].min()
+        if best is None:
+            return block_best, block_id
+        closer = block_best < best
+        tied = (block_best == best) & (block_id < best_id)
+        take = closer | tied
+        best[take] = block_best[take]
+        best_id[take] = block_id[take]
+        return best, best_id
 
     def nearest(self, point: Any) -> Optional[Tuple[int, float]]:
         """Nearest stored cell to ``point`` as ``(cell_id, distance)``."""

@@ -14,7 +14,7 @@ and dependency *selection* lives in the EDMStream driver.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.core.cell import ClusterCell
 
@@ -146,10 +146,13 @@ class DPTree:
     def clusters(self, tau: float) -> Dict[int, List[int]]:
         """Extract the MSDSubTrees for threshold ``tau``.
 
-        Returns a mapping from cluster-root cell id to the list of member
-        cell ids.  A cell starts its own cluster when it has no dependency or
-        its dependent distance exceeds ``tau`` (weak link); otherwise it joins
-        its dependency's cluster.
+        Returns a mapping from cluster-root cell id to the sorted list of
+        member cell ids.  A cell starts its own cluster when it has no
+        dependency or its dependent distance exceeds ``tau`` (weak link);
+        otherwise it joins its dependency's cluster.  Member lists are sorted
+        so the result is a pure function of the tree's edges — the traversal
+        order of the children sets (which depends on hash-table history) can
+        never leak into the output.
         """
         assignment: Dict[int, int] = {}
         members: Dict[int, List[int]] = {}
@@ -171,6 +174,8 @@ class DPTree:
                 assignment[cid] = cluster_root
                 members.setdefault(cluster_root, []).append(cid)
                 stack.extend(self._children.get(cid, ()))
+        for member_ids in members.values():
+            member_ids.sort()
         return members
 
     def cluster_assignment(self, tau: float) -> Dict[int, int]:

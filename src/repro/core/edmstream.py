@@ -203,14 +203,32 @@ class EDMStream:
     def learn_many(
         self,
         stream: Iterable[Any],
+        batch_size: Optional[int] = 256,
     ) -> List[int]:
-        """Ingest an iterable of :class:`~repro.streams.point.StreamPoint`."""
-        assigned = []
-        for point in stream:
-            assigned.append(
-                self.learn_one(point.values, timestamp=point.timestamp, label=point.label)
-            )
-        return assigned
+        """Ingest an iterable of :class:`~repro.streams.point.StreamPoint`.
+
+        By default the stream is processed in micro-batches of ``batch_size``
+        points through :class:`~repro.core.batch.BatchIngestor`: assignment is
+        one vectorised distance computation per batch, density increments are
+        applied once per (cell, batch), and activation checks, dependency
+        refreshes and periodic maintenance run at batch boundaries.  The
+        result (cell populations, partitions, return value) is identical to
+        the sequential path up to the tie-breaking and float-rounding
+        caveats documented in :mod:`repro.core.batch`.
+
+        Pass ``batch_size=None`` to force the paper-faithful per-point loop
+        over :meth:`learn_one`.
+        """
+        if batch_size is None:
+            assigned = []
+            for point in stream:
+                assigned.append(
+                    self.learn_one(point.values, timestamp=point.timestamp, label=point.label)
+                )
+            return assigned
+        from repro.core.batch import BatchIngestor
+
+        return BatchIngestor(self, batch_size=batch_size).ingest(stream)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -303,22 +321,9 @@ class EDMStream:
         active_distances = self._active.distances_to(point)
         inactive_distances = self._inactive.distances_to(point)
 
-        best_id: Optional[int] = None
-        best_distance = math.inf
-        best_in_tree = False
-        if active_distances.size:
-            position = int(np.argmin(active_distances))
-            best_id = self._active.id_at(position)
-            best_distance = float(active_distances[position])
-            best_in_tree = True
-        if inactive_distances.size:
-            position = int(np.argmin(inactive_distances))
-            distance = float(inactive_distances[position])
-            if distance < best_distance:
-                best_id = self._inactive.id_at(position)
-                best_distance = distance
-                best_in_tree = False
-
+        best_id, best_distance, best_in_tree = self._nearest_seed(
+            active_distances, inactive_distances
+        )
         if best_id is None or best_distance > self.config.radius:
             return self._create_cell(point, now, label)
 
@@ -327,6 +332,41 @@ class EDMStream:
         else:
             self._absorb_inactive(best_id, now, label)
         return best_id
+
+    def _nearest_seed(
+        self, active_distances: np.ndarray, inactive_distances: np.ndarray
+    ) -> Tuple[Optional[int], float, bool]:
+        """Nearest cell over both populations as ``(id, distance, is_active)``.
+
+        Canonical tie-breaking: among seeds at exactly the same distance the
+        smallest (i.e. earliest-created) cell id wins, regardless of which
+        store holds it or of the stores' internal array order.  Exact ties
+        are routine under the Jaccard metric, and an order-free rule is what
+        lets the micro-batch path (:mod:`repro.core.batch`) reproduce the
+        sequential results point for point.
+        """
+        best_distance = math.inf
+        if active_distances.size:
+            best_distance = float(np.min(active_distances))
+        if inactive_distances.size:
+            best_distance = min(best_distance, float(np.min(inactive_distances)))
+        if not math.isfinite(best_distance):
+            return None, math.inf, False
+        best_id: Optional[int] = None
+        best_in_tree = False
+        if active_distances.size:
+            tied = np.flatnonzero(active_distances == best_distance)
+            if tied.size:
+                best_id = min(self._active.id_at(int(p)) for p in tied)
+                best_in_tree = True
+        if inactive_distances.size:
+            tied = np.flatnonzero(inactive_distances == best_distance)
+            if tied.size:
+                inactive_best = min(self._inactive.id_at(int(p)) for p in tied)
+                if best_id is None or inactive_best < best_id:
+                    best_id = inactive_best
+                    best_in_tree = False
+        return best_id, best_distance, best_in_tree
 
     def _create_cell(self, point: Any, now: float, label: Optional[int]) -> int:
         cell = ClusterCell(
@@ -410,9 +450,15 @@ class EDMStream:
         positions = np.flatnonzero(higher)
         distances = self._active.distances_to_subset(cell.seed, positions)
         self.filter.stats.distance_computations += int(positions.size)
-        best_offset = int(np.argmin(distances))
-        best_id = int(ids[positions[best_offset]])
-        best_distance = float(distances[best_offset])
+        best_distance = float(np.min(distances))
+        # Canonical tie-breaking: among equidistant dominators the smallest
+        # cell id wins, so the dependency graph is a pure function of the
+        # (density order, distances) state, not of the processing order —
+        # exact distance ties are routine under the Jaccard metric, and the
+        # micro-batch path relies on this rule to reproduce the sequential
+        # results.
+        tied = np.flatnonzero(distances == best_distance)
+        best_id = int(np.min(ids[positions[tied]]))
         if best_id != cell.dependency or best_distance != cell.delta:
             self.filter.stats.dependency_changes += 1
         self.tree.set_dependency(cell.cell_id, best_id, best_distance)
@@ -480,9 +526,9 @@ class EDMStream:
             if not dominated[position]:
                 continue
             distance = float(seed_distances[offset])
-            if distance >= deltas[position]:
-                continue
             candidate_id = int(ids[position])
+            if not self._lex_improves(distance, absorber.cell_id, candidate_id, deltas[position]):
+                continue
             self.tree.set_dependency(candidate_id, absorber.cell_id, distance)
             self._active.update_delta(candidate_id, distance)
             self.filter.stats.dependency_changes += 1
@@ -493,6 +539,22 @@ class EDMStream:
         if rho_a != rho_b:
             return rho_a > rho_b
         return id_a < id_b
+
+    def _lex_improves(
+        self, distance: float, parent_id: int, candidate_id: int, current_delta: float
+    ) -> bool:
+        """Whether ``parent_id`` should replace the candidate's dependency.
+
+        Canonical rule: a new dominator wins when it is strictly closer, or
+        equally close with a smaller cell id than the current dependency.
+        Together with the tie-breaking in :meth:`_recompute_dependency` this
+        makes the dependency graph a pure function of the current densities
+        and (static) seed distances, independent of update order.
+        """
+        if distance != current_delta:
+            return distance < current_delta
+        current = self.tree.get(candidate_id).dependency
+        return current is None or parent_id < current
 
     # ------------------------------------------------------------------ #
     # internals: activation / deactivation
@@ -530,9 +592,9 @@ class EDMStream:
         self.filter.stats.distance_computations += int(positions.size)
         for offset, position in enumerate(positions):
             distance = float(distances[offset])
-            if distance >= deltas[position]:
-                continue
             candidate_id = int(ids[position])
+            if not self._lex_improves(distance, new_cell.cell_id, candidate_id, deltas[position]):
+                continue
             self.tree.set_dependency(candidate_id, new_cell.cell_id, distance)
             self._active.update_delta(candidate_id, distance)
             self.filter.stats.dependency_changes += 1
@@ -634,10 +696,12 @@ class EDMStream:
             ids[i] for i in range(len(ids)) if densities[i] < threshold
         ]
         # Never empty the tree completely: keep at least the densest cell so
-        # that the clustering remains defined while the stream is sparse.
+        # that the clustering remains defined while the stream is sparse
+        # (smallest id among exactly tied densities, canonically).
         if to_deactivate and len(to_deactivate) == len(ids):
-            densest = int(np.argmax(densities))
-            to_deactivate = [cid for cid in to_deactivate if cid != ids[densest]]
+            top = float(np.max(densities))
+            keep = min(ids[i] for i in np.flatnonzero(densities == top))
+            to_deactivate = [cid for cid in to_deactivate if cid != keep]
         started = _time.perf_counter()
         self._deactivate_cells(to_deactivate, now)
         self.dependency_update_seconds += _time.perf_counter() - started

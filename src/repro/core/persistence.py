@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import math
 import pathlib
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Union
 
 from repro.core.cell import ClusterCell, ensure_cell_id_floor
 from repro.core.config import EDMStreamConfig

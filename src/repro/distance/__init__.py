@@ -15,6 +15,7 @@ from repro.distance.metrics import (
     get_metric,
     manhattan,
     minkowski,
+    pairwise_euclidean,
     squared_euclidean,
 )
 from repro.distance.text import (
@@ -27,6 +28,7 @@ from repro.distance.text import (
 __all__ = [
     "DistanceMetric",
     "euclidean",
+    "pairwise_euclidean",
     "squared_euclidean",
     "manhattan",
     "chebyshev",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Set, Union
+from typing import FrozenSet, Set, Union
 
 TokenSet = Union[Set[str], FrozenSet[str], "TokenSetPoint"]
 

@@ -15,7 +15,7 @@ experiment (Figure 15, Table 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 
 @dataclass

@@ -27,8 +27,8 @@ clustering (the original optionally splits classes into sub-clusters first).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Sequence
 
 import numpy as np
 

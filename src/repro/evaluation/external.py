@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, Sequence
 
 
 def _check_lengths(true_labels: Sequence, predicted_labels: Sequence) -> None:

@@ -23,7 +23,7 @@ paper excludes outliers/halos from the objective function.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

@@ -26,7 +26,7 @@ the Section 6 experiments.
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.harness import ablations, experiments, scenarios
 from repro.harness.results import ExperimentResult
@@ -41,6 +41,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig10": (
         "Figure 10 — throughput",
         lambda points: experiments.experiment_throughput(n_points=points or 10000),
+    ),
+    "fig10_batch": (
+        "Figure 10 extension — micro-batch vs sequential ingestion throughput",
+        lambda points: experiments.experiment_batch_throughput(n_points=points or 16000),
     ),
     "fig11": (
         "Figure 11 — dependency-update filtering ablation",

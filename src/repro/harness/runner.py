@@ -17,13 +17,11 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Deque, Iterable, Optional
 
 from repro.evaluation.cmm import CMM
 from repro.harness.results import RunMetrics
 from repro.streams.point import StreamPoint
-from repro.streams.stream import DataStream
 
 
 class StreamRunner:

@@ -15,7 +15,7 @@ timeline implies this parameterisation.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core import EDMStream, EvolutionType
 from repro.harness.results import ExperimentResult, SeriesResult

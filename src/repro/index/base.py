@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Any, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 
 class SeedIndex(abc.ABC):
@@ -47,3 +47,15 @@ class SeedIndex(abc.ABC):
         """Convenience wrapper returning only the nearest key."""
         result = self.nearest(query)
         return None if result is None else result[0]
+
+    def nearest_many(self, queries: Sequence[Any]) -> List[Optional[Tuple[Hashable, float]]]:
+        """Batch form of :meth:`nearest`: one result per query, same order.
+
+        The base implementation simply loops; backends override it with a
+        vectorised computation when they can answer a whole batch cheaper
+        than query-by-query.  This mirrors the bulk assignment query the
+        micro-batch ingestion path issues against its cell stores
+        (``CellStore.nearest_many``), for index users — e.g. the index
+        ablation — that want the same batched access pattern.
+        """
+        return [self.nearest(query) for query in queries]

@@ -9,9 +9,12 @@ the cluster-cell summarisation, Section 3.2).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.distance import DistanceMetric, euclidean
+from repro.distance.metrics import pairwise_euclidean
 from repro.index.base import SeedIndex
 
 
@@ -43,6 +46,26 @@ class BruteForceIndex(SeedIndex):
         if best_key is None:
             return None
         return best_key, best_distance
+
+    def nearest_many(self, queries: Sequence[Any]) -> List[Optional[Tuple[Hashable, float]]]:
+        """Batch nearest query, vectorised when the metric is Euclidean.
+
+        For the default Euclidean metric the whole batch is answered by one
+        matrix computation through the shared deterministic kernel (ties may
+        resolve to a different equally-near key than the scalar scan); any
+        other metric falls back to the per-query loop.
+        """
+        if self._metric is not euclidean or not self._seeds or not len(queries):
+            return super().nearest_many(queries)
+        keys = list(self._seeds.keys())
+        seeds = np.asarray([self._seeds[key] for key in keys], dtype=float)
+        points = np.asarray([tuple(float(v) for v in q) for q in queries], dtype=float)
+        distances = pairwise_euclidean(points, seeds)
+        positions = np.argmin(distances, axis=1)
+        return [
+            (keys[int(position)], float(distances[row, position]))
+            for row, position in enumerate(positions)
+        ]
 
     def within(self, query: Any, radius: float) -> List[Tuple[Hashable, float]]:
         results = []

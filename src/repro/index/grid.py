@@ -18,7 +18,10 @@ import itertools
 import math
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.distance import euclidean
+from repro.distance.metrics import pairwise_euclidean
 from repro.index.base import SeedIndex
 
 
@@ -118,6 +121,28 @@ class GridIndex(SeedIndex):
         if best_key is None:
             return self._scan_all(point)
         return best_key, best_distance
+
+    def nearest_many(self, queries: Sequence[Any]) -> List[Optional[Tuple[Hashable, float]]]:
+        """Batch nearest query answered as one vectorised distance matrix.
+
+        A ring search pays off for a single query, but for a batch the
+        per-query Python bucket walk dominates; one matrix computation over
+        the (query, seed) grid amortises that cost across the whole batch.
+        Distances come from the shared deterministic kernel; exact distance
+        ties may resolve to a different (equally near) key than repeated
+        :meth:`nearest` calls, which inspect buckets in ring order.
+        """
+        if not self._seeds or not len(queries):
+            return [None] * len(queries)
+        keys = list(self._seeds.keys())
+        seeds = np.asarray([self._seeds[key] for key in keys], dtype=float)
+        points = np.asarray([tuple(float(v) for v in q) for q in queries], dtype=float)
+        distances = pairwise_euclidean(points, seeds)
+        positions = np.argmin(distances, axis=1)
+        return [
+            (keys[int(position)], float(distances[row, position]))
+            for row, position in enumerate(positions)
+        ]
 
     def _max_ring(self, center: Tuple[int, ...]) -> int:
         """Largest ring that could contain any occupied bucket."""

@@ -174,6 +174,21 @@ class KDTreeIndex(SeedIndex):
         if difference * difference < best[1]:
             self._nearest_recursive(far, query, best)
 
+    def nearest_many(self, queries: Sequence[Any]) -> List[Optional[Tuple[Hashable, float]]]:
+        """Batch nearest query with locality-ordered traversal.
+
+        The branch-and-bound search itself is already sublinear, so the
+        batch win comes from visiting queries in lexicographic point order:
+        consecutive queries then descend largely the same root path, keeping
+        the upper tree levels hot in cache.  Results are returned in the
+        original query order.
+        """
+        points = [tuple(float(v) for v in query) for query in queries]
+        results: List[Optional[Tuple[Hashable, float]]] = [None] * len(points)
+        for index in sorted(range(len(points)), key=points.__getitem__):
+            results[index] = self.nearest(points[index])
+        return results
+
     def within(self, query: Any, radius: float) -> List[Tuple[Hashable, float]]:
         """All live ``(key, distance)`` pairs with distance <= radius, nearest first."""
         if not self._nodes:

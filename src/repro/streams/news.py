@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Tuple
 
 from repro.distance.text import TokenSetPoint
 from repro.streams.point import StreamPoint

@@ -23,8 +23,7 @@ preserve, not on the exact semantic meaning of the attributes.
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -19,9 +19,8 @@ HDS
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ by the tracking ablation experiment.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.decay import DecayModel

@@ -26,8 +26,8 @@ transition log back.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
 
 from repro.tracking.transitions import (
     ClusterSnapshot,

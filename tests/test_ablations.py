@@ -1,6 +1,5 @@
 """Smoke and shape tests for the ablation experiment drivers (small sizes)."""
 
-import pytest
 
 from repro.harness import ablations
 

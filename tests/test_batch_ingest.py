@@ -1,0 +1,458 @@
+"""Equivalence and unit tests for the micro-batch ingestion path.
+
+The contract under test: ``EDMStream.learn_many(stream, batch_size=N)``
+produces the same cell populations and cluster partitions as the sequential
+per-point path, for every batch size, on numeric and non-numeric streams —
+up to the canonical tie-breaking documented in :mod:`repro.core.batch`
+(which both paths share, so in practice the results are identical).
+
+Cell ids are process-global, so two models ingesting the same stream never
+see the same ids; all cross-model comparisons are canonicalised through the
+cell seeds (seeds are unique within a model: a duplicate point is always
+absorbed, never promoted to a second seed).
+"""
+
+import numpy as np
+import pytest
+
+from repro import EDMStream
+from repro.core.batch import BatchIngestor
+from repro.core.cellstore import CellStore
+from repro.core.decay import DecayModel
+from repro.distance.metrics import pairwise_euclidean
+from repro.index import BruteForceIndex, GridIndex, KDTreeIndex
+from repro.streams import NewsStreamGenerator, RBFDriftGenerator, SDSGenerator
+from repro.streams.point import StreamPoint
+
+BATCH_SIZES = (1, 7, 256)
+
+#: ``summary()`` keys excluded from equivalence checks: wall-clock timings
+#: and filter counters legitimately differ between the two execution paths.
+NON_STRUCTURAL_SUMMARY_KEYS = ("filter_stats", "dependency_update_seconds")
+
+
+def canonical_seed(value):
+    try:
+        return tuple(value)
+    except TypeError:
+        return value
+
+
+def canonical_partition(model):
+    """Partition snapshot keyed by seeds instead of process-global cell ids."""
+    seed_of = {cid: canonical_seed(model.tree.get(cid).seed) for cid in model.tree.cell_ids()}
+    return {
+        seed_of[root]: frozenset(seed_of[m] for m in members)
+        for root, members in model.partition_snapshot().items()
+    }
+
+
+def canonical_cells(model):
+    """Every cell (active and inactive) keyed by seed."""
+    cells = {}
+    for cell in list(model.tree.cells()) + list(model.reservoir.cells()):
+        cells[canonical_seed(cell.seed)] = (
+            cell.density,
+            cell.last_update,
+            cell.cell_id in model.tree,
+            cell.points_absorbed,
+            dict(cell.label_votes),
+        )
+    return cells
+
+
+def structural_summary(model):
+    summary = model.summary()
+    for key in NON_STRUCTURAL_SUMMARY_KEYS:
+        summary.pop(key)
+    return summary
+
+
+def canonical_assignment(cell_ids):
+    """Rewrite an assignment sequence as first-occurrence indices."""
+    first = {}
+    out = []
+    for cell_id in cell_ids:
+        if cell_id not in first:
+            first[cell_id] = len(first)
+        out.append(first[cell_id])
+    return out
+
+
+def assert_same_cells(sequential, batched):
+    """Cell populations match; densities to 1e-9 relative.
+
+    The batch path applies one closed-form decayed increment per (cell,
+    batch) where the sequential path applies Equation 8 per point — the same
+    quantity evaluated in a different float association, so densities agree
+    to rounding rather than bit-for-bit.  Everything discrete (membership,
+    absorption counts, label votes, update times) must match exactly.
+    """
+    seq_cells = canonical_cells(sequential)
+    bat_cells = canonical_cells(batched)
+    assert set(bat_cells) == set(seq_cells)
+    for seed, (density, last_update, active, absorbed, votes) in seq_cells.items():
+        b_density, b_last_update, b_active, b_absorbed, b_votes = bat_cells[seed]
+        assert b_density == pytest.approx(density, rel=1e-9)
+        assert (b_last_update, b_active, b_absorbed, b_votes) == (
+            last_update,
+            active,
+            absorbed,
+            votes,
+        )
+
+
+def assert_equivalent(sequential, batched, sequential_ids=None, batched_ids=None):
+    assert canonical_partition(batched) == canonical_partition(sequential)
+    assert_same_cells(sequential, batched)
+    assert structural_summary(batched) == structural_summary(sequential)
+    assert batched.evolution.counts() == sequential.evolution.counts()
+    if sequential_ids is not None:
+        assert canonical_assignment(batched_ids) == canonical_assignment(sequential_ids)
+
+
+# --------------------------------------------------------------------- #
+# equivalence: batch path == sequential path
+# --------------------------------------------------------------------- #
+class TestLearnManyEquivalence:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_synthetic_blobs(self, two_blob_stream, batch_size):
+        def make():
+            return EDMStream(radius=0.5, init_size=50, beta=0.001)
+
+        sequential = make()
+        sequential_ids = sequential.learn_many(two_blob_stream, batch_size=None)
+        batched = make()
+        batched_ids = batched.learn_many(two_blob_stream, batch_size=batch_size)
+        assert_equivalent(sequential, batched, sequential_ids, batched_ids)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_sds_synthetic(self, batch_size):
+        stream = SDSGenerator(n_points=3000, rate=1000.0, seed=11).generate()
+
+        def make():
+            return EDMStream(radius=0.3, beta=0.0021, stream_rate=1000.0)
+
+        sequential = make()
+        sequential.learn_many(stream, batch_size=None)
+        batched = make()
+        batched.learn_many(stream, batch_size=batch_size)
+        assert_equivalent(sequential, batched)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_drift_stream(self, batch_size):
+        stream = RBFDriftGenerator(n_points=2500, n_kernels=4, drift_speed=1.0, seed=3).generate()
+
+        def make():
+            return EDMStream(radius=0.45, init_size=300, beta=0.001)
+
+        sequential = make()
+        sequential_ids = sequential.learn_many(stream, batch_size=None)
+        batched = make()
+        batched_ids = batched.learn_many(stream, batch_size=batch_size)
+        assert_equivalent(sequential, batched, sequential_ids, batched_ids)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_jaccard_news_stream(self, batch_size):
+        """Non-numeric path; exact distance ties are routine under Jaccard."""
+        stream = NewsStreamGenerator(n_points=900, rate=100.0).generate()
+
+        def make():
+            return EDMStream(
+                radius=0.4, metric="jaccard", init_size=100, beta=0.01, stream_rate=100.0
+            )
+
+        sequential = make()
+        sequential_ids = sequential.learn_many(stream, batch_size=None)
+        batched = make()
+        batched_ids = batched.learn_many(stream, batch_size=batch_size)
+        assert_equivalent(sequential, batched, sequential_ids, batched_ids)
+
+    def test_incremental_batches_match_one_shot(self, two_blob_stream):
+        """Feeding several learn_many calls equals feeding the stream once."""
+        one_shot = EDMStream(radius=0.5, init_size=50, beta=0.001)
+        one_shot.learn_many(two_blob_stream, batch_size=64)
+        incremental = EDMStream(radius=0.5, init_size=50, beta=0.001)
+        points = list(two_blob_stream)
+        for start in range(0, len(points), 37):
+            incremental.learn_many(points[start : start + 37], batch_size=64)
+        assert_equivalent(one_shot, incremental)
+
+    def test_pruned_nearest_path_preserves_equivalence(self, monkeypatch):
+        """Full ingest equivalence with the norm-window pruning engaged.
+
+        The default prune threshold (512 cells) is rarely reached by
+        test-sized streams, so lower it to force every assignment query in
+        the batch path through ``CellStore._nearest_many_pruned`` —
+        including stores churned by activation/deactivation swap-deletes
+        and capacity growth.
+        """
+        from repro.core.cellstore import CellStore
+
+        stream = RBFDriftGenerator(n_points=2500, n_kernels=4, drift_speed=1.0, seed=3).generate()
+
+        def make():
+            return EDMStream(radius=0.45, init_size=300, beta=0.001)
+
+        sequential = make()
+        sequential.learn_many(stream, batch_size=None)
+        monkeypatch.setattr(CellStore, "prune_threshold", 8)
+        batched = make()
+        batched.learn_many(stream, batch_size=256)
+        assert_equivalent(sequential, batched)
+
+    def test_auto_timestamps_match_sequential(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal((0.0, 0.0), 0.5, size=(400, 2))
+        sequential = EDMStream(radius=0.5, init_size=50, stream_rate=100.0)
+        for row in values:
+            sequential.learn_one(tuple(row))
+        batched = EDMStream(radius=0.5, init_size=50, stream_rate=100.0)
+        batched.learn_many(
+            [StreamPoint(values=tuple(row), timestamp=None) for row in values],
+            batch_size=64,
+        )
+        assert batched.now == sequential.now
+        assert_equivalent(sequential, batched)
+
+
+# --------------------------------------------------------------------- #
+# BatchIngestor unit behaviour
+# --------------------------------------------------------------------- #
+class TestBatchIngestor:
+    def test_rejects_non_positive_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchIngestor(EDMStream(), batch_size=0)
+
+    def test_empty_stream(self):
+        model = EDMStream()
+        assert model.learn_many([], batch_size=16) == []
+        assert model.n_points == 0
+
+    def test_returns_one_cell_id_per_point(self, two_blob_stream):
+        model = EDMStream(radius=0.5, init_size=50)
+        assigned = model.learn_many(two_blob_stream, batch_size=32)
+        assert len(assigned) == len(two_blob_stream)
+        assert model.n_points == len(two_blob_stream)
+        assert all(isinstance(cell_id, int) for cell_id in assigned)
+
+    def test_initialization_fires_inside_a_batch(self, two_blob_stream):
+        model = EDMStream(radius=0.5, init_size=50)
+        model.learn_many(list(two_blob_stream)[:60], batch_size=256)
+        assert model.initialized
+        assert model.tau is not None
+
+    def test_close_points_share_a_cell_within_one_batch(self):
+        model = EDMStream(radius=0.5)
+        points = [
+            StreamPoint(values=(0.0, 0.0), timestamp=0.0),
+            StreamPoint(values=(0.1, 0.1), timestamp=0.001),
+            StreamPoint(values=(5.0, 5.0), timestamp=0.002),
+        ]
+        first, second, third = model.learn_many(points, batch_size=3)
+        assert first == second
+        assert third != first
+
+
+# --------------------------------------------------------------------- #
+# batched decay primitives
+# --------------------------------------------------------------------- #
+class TestBatchedDecay:
+    decay = DecayModel(a=0.998, lam=1.0)
+
+    def test_batch_absorb_matches_sequential_absorb(self):
+        times = np.asarray([1.0, 1.4, 1.9, 2.05])
+        density = 3.0
+        expected = density
+        last = 0.5
+        for t in times:
+            expected = self.decay.absorb(expected, t - last)
+            last = t
+        assert self.decay.batch_absorb(3.0, 0.5, times) == pytest.approx(expected, rel=1e-12)
+
+    def test_batch_absorb_uniform_uses_geometric_sum(self):
+        times = 10.0 + 0.001 * np.arange(500)
+        increment = self.decay.batch_absorb(0.0, times[0], times)
+        assert increment == pytest.approx(self.decay.geometric_decay_sum(500, 0.001), rel=1e-12)
+
+    def test_geometric_decay_sum_equals_explicit_series(self):
+        q = self.decay.decay_factor(0.25)
+        explicit = sum(q ** m for m in range(40))
+        assert self.decay.geometric_decay_sum(40, 0.25) == pytest.approx(explicit)
+        assert self.decay.geometric_decay_sum(0, 0.25) == 0.0
+        assert self.decay.geometric_decay_sum(1, 123.0) == 1.0
+
+    def test_absorb_trajectory_matches_stepwise_absorb(self):
+        times = np.asarray([2.0, 2.3, 2.31, 3.0])
+        trajectory = self.decay.absorb_trajectory(5.0, 1.5, times)
+        density = 5.0
+        last = 1.5
+        for step, t in enumerate(times):
+            density = self.decay.absorb(density, t - last)
+            last = t
+            assert trajectory[step] == pytest.approx(density, rel=1e-12)
+
+    def test_absorb_trajectory_survives_huge_time_spans(self):
+        """Spans beyond the a**(-λt) overflow range use the stepwise path."""
+        times = np.asarray([0.0, 500000.0])
+        trajectory = self.decay.absorb_trajectory(1.0, 0.0, times)
+        assert np.all(np.isfinite(trajectory))
+        assert trajectory[1] == self.decay.absorb(self.decay.absorb(1.0, 0.0), 500000.0)
+
+    def test_decayed_weights(self):
+        weights = self.decay.decayed_weights(np.asarray([0.0, 1.0, 2.0]), 2.0)
+        assert weights[2] == 1.0
+        assert weights[0] == pytest.approx(self.decay.freshness(0.0, 2.0))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            self.decay.geometric_decay_sum(-1, 0.1)
+        with pytest.raises(ValueError):
+            self.decay.geometric_decay_sum(3, -0.1)
+
+
+# --------------------------------------------------------------------- #
+# CellStore bulk queries
+# --------------------------------------------------------------------- #
+class TestCellStoreBulkQueries:
+    def make_store(self, n=300, dim=5, seed=0):
+        from repro.core.cell import ClusterCell
+
+        rng = np.random.default_rng(seed)
+        store = CellStore(numeric=True)
+        points = rng.normal(size=(n, dim))
+        for row in points:
+            store.add(ClusterCell(seed=tuple(row)))
+        return store, points, rng
+
+    def test_distances_to_many_rows_match_distances_to(self):
+        store, _, rng = self.make_store()
+        queries = rng.normal(size=(40, 5))
+        matrix = store.distances_to_many(queries)
+        for row, query in enumerate(queries):
+            assert np.array_equal(matrix[row], store.distances_to(tuple(query)))
+
+    def test_nearest_many_matches_row_minima(self):
+        store, _, rng = self.make_store()
+        queries = rng.normal(size=(64, 5))
+        best, best_id = store.nearest_many(queries)
+        matrix = store.distances_to_many(queries)
+        ids = np.asarray(store.ids())
+        assert np.array_equal(best, matrix.min(axis=1))
+        assert np.array_equal(best_id, ids[np.argmin(matrix, axis=1)])
+
+    def test_nearest_many_pruned_is_exact_within_radius(self):
+        store, _, rng = self.make_store(n=600)
+        # Churn the store so the pruned path sees swap-deleted norm slots.
+        for cell_id in list(store.ids())[::7]:
+            store.remove(cell_id)
+        points = np.asarray([store.get(cid).seed for cid in store.ids()])
+        # Queries near existing seeds so the nearest is within the radius.
+        queries = points[rng.choice(len(points), size=80, replace=False)] + rng.normal(
+            scale=0.01, size=(80, 5)
+        )
+        radius = 0.2
+        best, best_id = store.nearest_many(queries, within=radius)
+        exact, exact_id = store.nearest_many(queries)
+        within = exact <= radius
+        assert within.any()
+        assert np.array_equal(best[within], exact[within])
+        assert np.array_equal(best_id[within], exact_id[within])
+        # Beyond the radius the pruned query only promises "nothing within".
+        assert np.all(best[~within] > radius)
+
+    def test_cross_distances_match_seed_distances(self):
+        store, _, _ = self.make_store(n=50)
+        positions = np.asarray([0, 7, 23])
+        matrix = store.cross_distances(positions)
+        for row, position in enumerate(positions):
+            cell_id = store.id_at(int(position))
+            assert np.array_equal(matrix[row], store.seed_distances(cell_id))
+
+    def test_nearest_many_empty_store(self):
+        store = CellStore(numeric=True)
+        assert store.nearest_many([(0.0, 0.0)]) == (None, None)
+
+
+class TestPairwiseEuclidean:
+    def test_symmetry_to_the_last_bit(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(30, 7))
+        b = rng.normal(size=(45, 7))
+        assert np.array_equal(pairwise_euclidean(a, b), pairwise_euclidean(b, a).T)
+
+    def test_matches_scalar_euclidean(self):
+        from repro.distance import euclidean
+
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(10, 4))
+        b = rng.normal(size=(12, 4))
+        matrix = pairwise_euclidean(a, b)
+        for i in range(10):
+            for j in range(12):
+                assert matrix[i, j] == pytest.approx(euclidean(a[i], b[j]), rel=1e-9)
+
+    def test_einsum_fallback_without_scipy(self, monkeypatch):
+        """The numpy fallback (scipy absent) stays symmetric and equivalent."""
+        import repro.distance.metrics as metrics
+
+        monkeypatch.setattr(metrics, "_cdist", None)
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(15, 6))
+        b = rng.normal(size=(20, 6))
+        matrix = metrics.pairwise_euclidean(a, b)
+        assert np.array_equal(matrix, metrics.pairwise_euclidean(b, a).T)
+
+        stream = SDSGenerator(n_points=1200, rate=1000.0, seed=13).generate()
+        sequential = EDMStream(radius=0.3, beta=0.0021, stream_rate=1000.0)
+        sequential.learn_many(stream, batch_size=None)
+        batched = EDMStream(radius=0.3, beta=0.0021, stream_rate=1000.0)
+        batched.learn_many(stream, batch_size=64)
+        assert_equivalent(sequential, batched)
+
+
+# --------------------------------------------------------------------- #
+# index backends: batch nearest
+# --------------------------------------------------------------------- #
+class TestIndexNearestMany:
+    @pytest.fixture
+    def seeds(self):
+        rng = np.random.default_rng(9)
+        return [tuple(row) for row in rng.normal(size=(120, 3))]
+
+    @pytest.fixture
+    def queries(self):
+        rng = np.random.default_rng(10)
+        return [tuple(row) for row in rng.normal(size=(25, 3))]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            BruteForceIndex,
+            lambda: GridIndex(cell_width=0.5),
+            KDTreeIndex,
+        ],
+    )
+    def test_matches_per_query_nearest(self, factory, seeds, queries):
+        index = factory()
+        for key, seed in enumerate(seeds):
+            index.insert(key, seed)
+        batch = index.nearest_many(queries)
+        assert len(batch) == len(queries)
+        for query, result in zip(queries, batch):
+            single = index.nearest(query)
+            assert result[0] == single[0]
+            assert result[1] == pytest.approx(single[1], rel=1e-9)
+
+    def test_empty_index(self, queries):
+        for index in (BruteForceIndex(), GridIndex(cell_width=0.5), KDTreeIndex()):
+            assert index.nearest_many(queries) == [None] * len(queries)
+
+    def test_brute_force_non_euclidean_falls_back(self):
+        from repro.distance import manhattan
+
+        index = BruteForceIndex(metric=manhattan)
+        index.insert("a", (0.0, 0.0))
+        index.insert("b", (3.0, 3.0))
+        results = index.nearest_many([(0.1, 0.0), (2.9, 3.0)])
+        assert [key for key, _ in results] == ["a", "b"]

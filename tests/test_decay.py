@@ -1,6 +1,5 @@
 """Tests for the exponential decay model (Section 3.1, Equations 3-8)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

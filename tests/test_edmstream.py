@@ -1,6 +1,5 @@
 """Behavioural tests for the EDMStream algorithm (Section 4)."""
 
-import math
 
 import numpy as np
 import pytest

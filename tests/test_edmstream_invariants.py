@@ -12,7 +12,6 @@ invariants that must hold after any sequence of arrivals:
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

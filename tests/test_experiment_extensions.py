@@ -1,7 +1,6 @@
 """Tests for the experiment-driver extensions (real-time throughput, radius
 summary columns, and the new CLI ablation entries)."""
 
-import pytest
 
 from repro.harness import experiments
 from repro.harness.cli import EXPERIMENTS, run_experiment

@@ -1,6 +1,5 @@
 """Tests for the stream abstractions (StreamPoint, DataStream)."""
 
-import numpy as np
 import pytest
 
 from repro.streams import StreamPoint, stream_from_arrays

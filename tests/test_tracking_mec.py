@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.tracking.mec import MECTracker, TransitionEdge
+from repro.tracking.mec import MECTracker
 from repro.tracking.transitions import ClusterSnapshot, TransitionType, WeightedCluster
 
 
