@@ -64,6 +64,13 @@ def main() -> None:
         f"{counts['merge']} merge, {counts['split']} split"
     )
 
+    snapshot = model.request_clustering()
+    print(
+        f"\nserving snapshot v{snapshot.version}: {snapshot.n_clusters} activity "
+        f"clusters over {snapshot.n_cells} active cells, served without "
+        "touching the live model"
+    )
+
     upper_bound = model.reservoir.size_upper_bound
     peak = max((size for _, size in model.reservoir_size_history), default=0)
     print(

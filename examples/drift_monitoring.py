@@ -42,12 +42,14 @@ def run_model(stream, decay_lambda, rate):
 
 
 def window_purity(model, stream, window=1000):
-    """Purity of the model's predictions over the last ``window`` points."""
-    recent = stream.points[-window:]
-    true_labels = [p.label for p in recent if p.label is not None and p.label >= 0]
-    predicted = [
-        model.predict_one(p.values) for p in recent if p.label is not None and p.label >= 0
-    ]
+    """Purity of the model's predictions over the last ``window`` points.
+
+    The whole window is answered by one vectorised ``predict_many`` batch
+    query against the model's published snapshot.
+    """
+    recent = [p for p in stream.points[-window:] if p.label is not None and p.label >= 0]
+    true_labels = [p.label for p in recent]
+    predicted = [int(v) for v in model.predict_many([p.values for p in recent])]
     return purity(true_labels, predicted)
 
 

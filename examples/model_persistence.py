@@ -57,16 +57,20 @@ def main() -> None:
 
     restored = load_model(snapshot_path)
     queries = [(0.0, 0.0), (7.0, 7.0), (3.5, 3.5)]
-    print("\npredictions before vs after the restore")
+    # Serve both models through their published ClusterSnapshots: one batch
+    # query each, and the restored model must answer identically.
+    original_labels = model.request_clustering().predict_many(queries)
+    restored_labels = restored.request_clustering().predict_many(queries)
+    print("\npredictions before vs after the restore (snapshot-served)")
     print(
         format_table(
             [
                 {
                     "query": str(q),
-                    "original": model.predict_one(q),
-                    "restored": restored.predict_one(q),
+                    "original": int(original_labels[i]),
+                    "restored": int(restored_labels[i]),
                 }
-                for q in queries
+                for i, q in enumerate(queries)
             ]
         )
     )

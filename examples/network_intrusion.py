@@ -60,6 +60,19 @@ def main() -> None:
         "than the best two-phase baseline on this stream."
     )
 
+    # An operator console would now serve "which cluster is this connection
+    # in?" at query time, off an immutable snapshot, while ingestion keeps
+    # running — one batch query against the frozen seed matrix.
+    snapshot = algorithms["EDMStream"].request_clustering()
+    probe_values = [p.values for p in stream.points[-1000:]]
+    labels = snapshot.predict_many(probe_values)
+    flagged = int((labels == snapshot.outlier_label).sum())
+    print(
+        f"\nserving snapshot v{snapshot.version}: {snapshot.n_clusters} traffic clusters; "
+        f"{flagged}/{len(probe_values)} of the last 1000 connections fall outside "
+        "every cluster (candidate anomalies)."
+    )
+
 
 if __name__ == "__main__":
     main()

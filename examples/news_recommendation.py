@@ -54,22 +54,27 @@ def main() -> None:
         day = event.time / seconds_per_day
         print(f"  day {day:>4.1f}  {event.event_type.value:<9s} {event.description}")
 
-    # Show what a recommendation would look like: take the last article a
-    # user read and list the dominant topics of its cluster.
+    # Show what a recommendation would look like: publish a serving snapshot
+    # and answer the query entirely from it — the recommender never touches
+    # the live model, so ingestion can continue concurrently.
+    snapshot = model.request_clustering()
     last_article = stream.points[-1]
-    cluster = model.predict_one(last_article.values)
+    cluster = snapshot.predict_one(last_article.values)
     print(f"\nuser just read: {last_article.values.text!r}")
-    if cluster == -1:
+    if cluster == snapshot.outlier_label:
         print("  -> no active cluster covers this article (too niche right now)")
         return
-    member_cells = model.clusters().get(cluster, [])
+    member_positions = {int(cid): i for i, cid in enumerate(snapshot.cell_ids)}
     token_counter: Counter = Counter()
-    for cell_id in member_cells:
-        cell = model.tree.get(cell_id)
-        seed: TokenSetPoint = cell.seed
+    for cell_id in snapshot.clusters().get(cluster, []):
+        seed: TokenSetPoint = snapshot.seed_objects[member_positions[cell_id]]
         token_counter.update(seed.tokens)
     top_tokens = ", ".join(token for token, _ in token_counter.most_common(6))
-    print(f"  -> recommend more articles from cluster {cluster} (topic tags: {top_tokens})")
+    print(
+        f"  -> recommend more articles from cluster {cluster} "
+        f"(stable topic id {snapshot.stable_label_of(cluster)}, "
+        f"topic tags: {top_tokens})"
+    )
 
 
 if __name__ == "__main__":

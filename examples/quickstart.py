@@ -3,11 +3,15 @@
 
 Generates the SDS synthetic stream (two Gaussian clusters that merge, a new
 cluster that emerges, a disappearance and a split — the Figure 6 script),
-feeds it point by point into EDMStream and prints:
+feeds it into EDMStream and prints:
 
 * the number of clusters at every second of stream time,
-* the cluster evolution events the tracker detected, and
-* the final decision graph (ρ, δ of the active cluster-cells).
+* the cluster evolution events the tracker detected,
+* the final decision graph (ρ, δ of the active cluster-cells), and
+* predictions served from an immutable :class:`~repro.api.ClusterSnapshot` —
+  the canonical ingest/serve split: ``learn_one`` / ``learn_many`` mutate the
+  live model, ``request_clustering()`` publishes a frozen, versioned view,
+  and ``predict_many`` answers query batches entirely off that view.
 
 Run with::
 
@@ -66,13 +70,18 @@ def main() -> None:
     print("\ndecision graph (rho on x, delta on y, '-' marks tau)")
     print(graph.render(width=60, height=14, tau=model.tau))
 
-    # Predict the cluster of a few probe points under the final model.
+    # Serve predictions from an immutable snapshot: one vectorised batch
+    # query, no lock on (and no reference into) the live model.
+    snapshot = model.request_clustering()
+    print(f"\nserving snapshot: version {snapshot.version}, "
+          f"{snapshot.n_cells} seeds, {snapshot.n_clusters} clusters")
     probes = [(8.0, 9.5), (7.5, 6.5), (1.0, 1.0)]
-    print("\npredictions for probe points")
-    for probe in probes:
-        label = model.predict_one(probe)
-        meaning = "outlier" if label == -1 else f"cluster {label}"
-        print(f"  {probe} -> {meaning}")
+    labels = snapshot.predict_many(probes)
+    print("predictions for probe points (served off the snapshot)")
+    for probe, label in zip(probes, labels):
+        meaning = "outlier" if label == snapshot.outlier_label else f"cluster {label}"
+        stable = snapshot.stable_label_of(int(label))
+        print(f"  {probe} -> {meaning} (stable serving id {stable})")
 
 
 if __name__ == "__main__":

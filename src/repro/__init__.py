@@ -8,18 +8,20 @@ Peaks clustering, the stream-clustering baselines it is compared against
 surrogate workload generators, the CMM quality metric and a benchmark
 harness that regenerates every table and figure of the paper's evaluation.
 
-Quickstart::
+Quickstart (ingest, then serve from an immutable snapshot)::
 
     from repro import EDMStream
     from repro.streams import SDSGenerator
 
     stream = SDSGenerator(seed=7).generate()
     model = EDMStream(radius=0.3, beta=0.001)
-    for point in stream:
-        model.learn_one(point.values, timestamp=point.timestamp)
-    print(model.n_clusters, "clusters")
+    model.learn_many(stream)                      # micro-batched ingestion
+    snapshot = model.request_clustering()         # immutable serving view
+    print(snapshot.n_clusters, "clusters at version", snapshot.version)
+    labels = snapshot.predict_many([p.values for p in stream.points[:100]])
 """
 
+from repro.api import ClusterSnapshot, SnapshotPublisher, StreamClusterer
 from repro.core import (
     BatchIngestor,
     ClusterCell,
@@ -33,12 +35,15 @@ from repro.core import (
     OutlierReservoir,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BatchIngestor",
     "EDMStream",
     "EDMStreamConfig",
+    "StreamClusterer",
+    "ClusterSnapshot",
+    "SnapshotPublisher",
     "DecayModel",
     "ClusterCell",
     "DPTree",

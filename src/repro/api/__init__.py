@@ -1,0 +1,30 @@
+"""Public serving API: the ingest/serve split behind every stream clusterer.
+
+* :class:`~repro.api.protocol.StreamClusterer` — the unified protocol every
+  algorithm (EDMStream and all baselines) implements:
+  ``learn_one`` / ``learn_many(batch_size=…)`` /
+  ``request_clustering() -> ClusterSnapshot`` / ``predict_one`` /
+  ``predict_many`` / ``snapshot()``.
+* :class:`~repro.api.snapshot.ClusterSnapshot` — an immutable,
+  monotonically-versioned serving view (frozen seed matrix, label array,
+  densities, τ, stable cluster ids) queried without touching the live model.
+* :class:`~repro.api.snapshot.SnapshotPublisher` — versioning and stable-id
+  matching across snapshot generations.
+"""
+
+from repro.api.protocol import StreamClusterer, as_stream_points
+from repro.api.snapshot import (
+    ClusterSnapshot,
+    GridSpec,
+    ServingView,
+    SnapshotPublisher,
+)
+
+__all__ = [
+    "StreamClusterer",
+    "ClusterSnapshot",
+    "GridSpec",
+    "ServingView",
+    "SnapshotPublisher",
+    "as_stream_points",
+]

@@ -1,0 +1,171 @@
+"""The unified stream-clusterer protocol: ingest on one side, serve on the other.
+
+Every algorithm in this repository — EDMStream and all baselines — is driven
+through the same surface:
+
+* **Ingest**: :meth:`StreamClusterer.learn_one` per arriving point, or
+  :meth:`~StreamClusterer.learn_many` for an iterable (of
+  :class:`~repro.streams.point.StreamPoint`\\ s or raw value vectors) with an
+  optional micro-batch size.
+* **Serve**: :meth:`~StreamClusterer.request_clustering` brings the macro
+  clustering up to date (two-phase algorithms pay their offline step here)
+  and returns an immutable :class:`~repro.api.snapshot.ClusterSnapshot`;
+  :meth:`~StreamClusterer.snapshot` returns the latest published snapshot
+  without forcing a re-clustering (stale-but-consistent);
+  :meth:`~StreamClusterer.predict_one` / :meth:`~StreamClusterer.predict_many`
+  answer point queries under the current clustering.
+
+Subclasses implement the four abstract members plus the
+:meth:`~StreamClusterer._serving_view` hook describing their serving state;
+``request_clustering`` implementations end with
+``return self._publish_snapshot()`` so every algorithm publishes versioned,
+stable-id-matched snapshots through one code path.
+
+Concurrency contract: ``learn_*``, ``request_clustering`` and the model's
+own ``predict_*`` conveniences are writer-side calls — a query may publish a
+fresh snapshot off the live structures, so they belong on the ingest
+thread.  Concurrent readers hold a :class:`ClusterSnapshot` and query it;
+the snapshot owns private frozen copies of everything it serves from, so it
+is safe to read from any number of threads or workers while ingestion
+continues.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.api.snapshot import ClusterSnapshot, ServingView, SnapshotPublisher
+from repro.streams.point import StreamPoint
+
+
+def as_stream_points(stream: Iterable[Any]) -> Iterator[StreamPoint]:
+    """Normalise an iterable of points onto :class:`StreamPoint`.
+
+    Accepts a mix of :class:`StreamPoint` instances (passed through) and raw
+    value vectors / payload objects (wrapped with no timestamp, so the
+    clusterer auto-assigns arrival times) — the one input convention shared
+    by every ``learn_many`` implementation.
+    """
+    for item in stream:
+        if isinstance(item, StreamPoint):
+            yield item
+        else:
+            yield StreamPoint(values=item, timestamp=None)
+
+
+class StreamClusterer(abc.ABC):
+    """Abstract base class for stream clustering algorithms.
+
+    The benchmark harness and the serving layer treat every implementation
+    uniformly through this interface; see the module docstring for the
+    ingest/serve split.
+    """
+
+    #: Human-readable algorithm name used in reports and snapshots.
+    name: str = "stream-clusterer"
+
+    #: Label returned for points not covered by any cluster.
+    outlier_label: int = -1
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def learn_one(
+        self, values: Any, timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> Any:
+        """Ingest a single stream point (the online phase)."""
+
+    def learn_many(
+        self, stream: Iterable[Any], batch_size: Optional[int] = None
+    ) -> List[Any]:
+        """Ingest an iterable of stream points or raw value vectors.
+
+        The base implementation is the per-point fallback: it feeds every
+        point through :meth:`learn_one` regardless of ``batch_size`` (which
+        only algorithms with a true micro-batch path, like EDMStream, act
+        on).  Returns the per-point ``learn_one`` results.
+        """
+        del batch_size  # accepted for signature uniformity; per-point fallback
+        return [
+            self.learn_one(point.values, timestamp=point.timestamp, label=point.label)
+            for point in as_stream_points(stream)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # serve
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def request_clustering(self) -> ClusterSnapshot:
+        """Bring the macro clustering up to date and publish a snapshot.
+
+        This is where two-phase algorithms pay for their offline step.
+        Implementations end with ``return self._publish_snapshot()``.
+        """
+
+    def snapshot(self) -> ClusterSnapshot:
+        """Latest published snapshot (stale-but-consistent serving view).
+
+        Unlike :meth:`request_clustering` this never recomputes the macro
+        clustering; it only falls back to it when nothing has been published
+        yet.  That first-call fallback walks the live structures, so — like
+        every method on the model itself — this call belongs on the ingest
+        thread; hand the returned (immutable) snapshot to readers.
+        """
+        latest = getattr(self, "_latest_snapshot", None)
+        if latest is None:
+            return self.request_clustering()
+        return latest
+
+    @abc.abstractmethod
+    def predict_one(self, values: Any) -> int:
+        """Macro-cluster label of a point under the current clustering."""
+
+    def predict_many(self, points: Iterable[Any]) -> np.ndarray:
+        """Macro-cluster labels for a batch of points.
+
+        Base implementation loops :meth:`predict_one`, so every algorithm
+        supports batch queries; algorithms with a vectorised snapshot path
+        (EDMStream) override this.
+        """
+        return np.asarray(
+            [int(self.predict_one(values)) for values in points], dtype=np.int64
+        )
+
+    @property
+    @abc.abstractmethod
+    def n_clusters(self) -> int:
+        """Number of macro clusters in the current clustering."""
+
+    # ------------------------------------------------------------------ #
+    # snapshot publication plumbing
+    # ------------------------------------------------------------------ #
+    def _serving_view(self) -> ServingView:
+        """Describe the current serving state (seeds, labels, coverage, …).
+
+        Called by :meth:`_publish_snapshot` with the macro clustering
+        already up to date.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not describe its serving state"
+        )
+
+    def _publish_snapshot(self) -> ClusterSnapshot:
+        """Freeze the current serving state into the next snapshot version."""
+        publisher = getattr(self, "_snapshot_publisher", None)
+        if publisher is None:
+            publisher = SnapshotPublisher()
+            self._snapshot_publisher = publisher
+        snapshot = publisher.publish(
+            self._serving_view(),
+            algorithm=self.name,
+            outlier_label=self.outlier_label,
+        )
+        self._latest_snapshot = snapshot
+        return snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -14,7 +14,7 @@ CF-Tree ancestor contrasted against the DP-Tree in Section 7) and SOStream
 (single-phase, self-organising) are included for the ablation experiments.
 """
 
-from repro.baselines.base import StreamClusterer
+from repro.api import StreamClusterer
 from repro.baselines.dbscan import DBSCAN
 from repro.baselines.kmeans import KMeans
 from repro.baselines.denstream import DenStream

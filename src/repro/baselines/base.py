@@ -1,54 +1,20 @@
-"""Common interface for all stream clusterers in this repository.
+"""Deprecated location of :class:`~repro.api.StreamClusterer`.
 
-The benchmark harness drives every algorithm — EDMStream and the baselines —
-through the same three calls:
-
-* :meth:`StreamClusterer.learn_one` for each arriving point,
-* :meth:`StreamClusterer.request_clustering` whenever an up-to-date clustering
-  is needed (this is where two-phase algorithms pay for their offline step),
-* :meth:`StreamClusterer.predict_one` to map a point to a macro-cluster label.
-
-EDMStream exposes ``learn_one`` / ``predict_one`` natively and maintains its
-clustering incrementally, so its ``request_clustering`` is (nearly) free; the
-harness treats any object with these methods uniformly.
+The protocol was promoted into :mod:`repro.api` when the ingest/serve split
+became a first-class API (snapshot-based serving); this module remains as a
+one-release import shim.
 """
 
 from __future__ import annotations
 
-import abc
-from typing import Any, Optional
+import warnings
 
+from repro.api.protocol import StreamClusterer
 
-class StreamClusterer(abc.ABC):
-    """Abstract base class for two-phase stream clustering algorithms."""
+warnings.warn(
+    "repro.baselines.base is deprecated; import StreamClusterer from repro.api",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-    #: Human-readable algorithm name used in reports.
-    name: str = "stream-clusterer"
-
-    @abc.abstractmethod
-    def learn_one(
-        self, values: Any, timestamp: Optional[float] = None, label: Optional[int] = None
-    ) -> Any:
-        """Ingest a single stream point (the online phase)."""
-
-    @abc.abstractmethod
-    def request_clustering(self) -> None:
-        """Bring the macro clustering up to date (the offline phase)."""
-
-    @abc.abstractmethod
-    def predict_one(self, values: Any) -> int:
-        """Macro-cluster label of a point under the current clustering (-1 = outlier)."""
-
-    @property
-    @abc.abstractmethod
-    def n_clusters(self) -> int:
-        """Number of macro clusters in the current clustering."""
-
-    # Convenience -------------------------------------------------------- #
-    def learn_many(self, stream) -> None:
-        """Ingest an iterable of :class:`~repro.streams.point.StreamPoint`."""
-        for point in stream:
-            self.learn_one(point.values, timestamp=point.timestamp, label=point.label)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}(name={self.name!r})"
+__all__ = ["StreamClusterer"]

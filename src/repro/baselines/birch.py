@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.base import StreamClusterer
+from repro.api import ClusterSnapshot, ServingView, StreamClusterer
 from repro.baselines.kmeans import KMeans
 
 
@@ -340,14 +340,16 @@ class Birch(StreamClusterer):
         self._macro_stale = True
         return self.tree.n_points
 
-    def request_clustering(self) -> None:
+    def request_clustering(self) -> ClusterSnapshot:
         """Cluster the leaf entries globally (BIRCH phase 3)."""
         entries = self.tree.leaf_entries()
         if not entries:
             self._macro_labels = {}
+            self._serving_cache = ([], np.empty((0, 0), dtype=float))
             self._macro_stale = False
-            return
+            return self._publish_snapshot()
         centroids = np.asarray([cf.centroid for _, cf in entries])
+        self._serving_cache = (entries, centroids)
         weights = np.asarray([cf.n for _, cf in entries])
         if self.n_macro_clusters is not None:
             k = min(self.n_macro_clusters, len(entries))
@@ -359,6 +361,20 @@ class Birch(StreamClusterer):
         else:
             self._macro_labels = self._agglomerate(entries, centroids)
         self._macro_stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        # Reuse the leaf walk and centroid matrix request_clustering() just
+        # built for the macro step, instead of re-enumerating the tree.
+        entries, centroids = self._serving_cache
+        return ServingView(
+            n_points=self.tree.n_points,
+            seeds=centroids,
+            cell_ids=[entry_id for entry_id, _ in entries],
+            labels=[self._macro_labels.get(entry_id, -1) for entry_id, _ in entries],
+            densities=[cf.n for _, cf in entries],
+            metadata={"leaf_entries": len(entries)},
+        )
 
     def _agglomerate(
         self,

@@ -24,7 +24,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.baselines._centers import CenterArray
-from repro.baselines.base import StreamClusterer
+from repro.api import ClusterSnapshot, ServingView, StreamClusterer
 from repro.baselines.kmeans import KMeans
 
 _mc_counter = itertools.count(1)
@@ -127,6 +127,7 @@ class CluStream(StreamClusterer):
         self._clusters: Dict[int, _CluMicroCluster] = {}
         self._centers = CenterArray()
         self._now = 0.0
+        self._n_points = 0
         self._macro_labels: Dict[int, int] = {}
         self._macro_stale = True
 
@@ -138,6 +139,7 @@ class CluStream(StreamClusterer):
         if timestamp is None:
             timestamp = self._now + 1.0
         self._now = max(self._now, timestamp)
+        self._n_points += 1
         self._macro_stale = True
 
         nearest = self._centers.nearest(point)
@@ -204,20 +206,31 @@ class CluStream(StreamClusterer):
         self._centers.remove(drop)
 
     # ------------------------------------------------------------------ #
-    def request_clustering(self) -> None:
+    def request_clustering(self) -> ClusterSnapshot:
         """Offline phase: weighted k-means over micro-cluster centres."""
         self._macro_labels = {}
-        if not self._clusters:
-            self._macro_stale = False
-            return
-        ids = list(self._clusters)
-        centers = np.asarray([self._clusters[m].center for m in ids])
-        weights = np.asarray([self._clusters[m].count for m in ids])
-        k = min(self.n_macro_clusters, len(ids))
-        kmeans = KMeans(n_clusters=k, seed=self.seed)
-        labels = kmeans.fit_predict(centers, weights=weights)
-        self._macro_labels = {mc_id: int(label) for mc_id, label in zip(ids, labels)}
+        if self._clusters:
+            ids = list(self._clusters)
+            centers = np.asarray([self._clusters[m].center for m in ids])
+            weights = np.asarray([self._clusters[m].count for m in ids])
+            k = min(self.n_macro_clusters, len(ids))
+            kmeans = KMeans(n_clusters=k, seed=self.seed)
+            labels = kmeans.fit_predict(centers, weights=weights)
+            self._macro_labels = {mc_id: int(label) for mc_id, label in zip(ids, labels)}
         self._macro_stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        mc_ids = self._centers.ids()
+        return ServingView(
+            time=self._now,
+            n_points=self._n_points,
+            seeds=self._centers.matrix(),
+            cell_ids=mc_ids,
+            labels=[self._macro_labels.get(mc_id, -1) for mc_id in mc_ids],
+            densities=[self._clusters[mc_id].count for mc_id in mc_ids],
+            metadata={"micro_clusters": len(self._clusters)},
+        )
 
     def predict_one(self, values: Sequence[float]) -> int:
         if self._macro_stale:

@@ -14,16 +14,26 @@ phase uses it.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.api import ClusterSnapshot, ServingView, StreamClusterer
 
 NOISE = -1
 UNVISITED = -2
 
 
-class DBSCAN:
+class DBSCAN(StreamClusterer):
     """Density-based spatial clustering of applications with noise.
+
+    Primarily a batch substrate (:meth:`fit_predict` over a point matrix,
+    optionally weighted — exactly how DenStream's offline phase uses it),
+    but it also implements the :class:`~repro.api.StreamClusterer` protocol
+    as a buffer-and-recluster adapter: :meth:`learn_one` collects points and
+    :meth:`request_clustering` runs the batch algorithm over the buffer,
+    which is the classic "recluster everything periodically" straw man the
+    streaming algorithms improve on.
 
     Parameters
     ----------
@@ -35,6 +45,8 @@ class DBSCAN:
         mass is the sum of the neighbours' weights.
     """
 
+    name = "DBSCAN"
+
     def __init__(self, eps: float, min_pts: float = 5.0) -> None:
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
@@ -42,6 +54,65 @@ class DBSCAN:
             raise ValueError(f"min_pts must be positive, got {min_pts}")
         self.eps = eps
         self.min_pts = min_pts
+        self._buffer: List[Tuple[float, ...]] = []
+        self._buffer_labels = np.empty(0, dtype=int)
+        self._buffer_matrix = np.empty((0, 0), dtype=float)
+        self._now = 0.0
+        self._stale = True
+
+    # ------------------------------------------------------------------ #
+    # StreamClusterer adapter (buffer + periodic full recluster)
+    # ------------------------------------------------------------------ #
+    def learn_one(
+        self, values: Sequence[float], timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> int:
+        if timestamp is None:
+            timestamp = self._now + 1.0
+        self._now = max(self._now, timestamp)
+        self._buffer.append(tuple(float(v) for v in values))
+        self._stale = True
+        return len(self._buffer) - 1
+
+    def request_clustering(self) -> ClusterSnapshot:
+        """Re-run batch DBSCAN over every buffered point."""
+        if self._buffer:
+            self._buffer_matrix = np.asarray(self._buffer, dtype=float)
+            self._buffer_labels = self.fit_predict(self._buffer_matrix)
+        else:
+            self._buffer_matrix = np.empty((0, 0), dtype=float)
+            self._buffer_labels = np.empty(0, dtype=int)
+        self._stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        return ServingView(
+            time=self._now,
+            n_points=len(self._buffer),
+            seeds=self._buffer_matrix,
+            cell_ids=list(range(self._buffer_matrix.shape[0])),
+            labels=self._buffer_labels,
+            coverage=self.eps,
+            metadata={"buffered_points": len(self._buffer)},
+        )
+
+    def predict_one(self, values: Sequence[float]) -> int:
+        if self._stale:
+            self.request_clustering()
+        if self._buffer_matrix.size == 0:
+            return NOISE
+        point = np.asarray(values, dtype=float)
+        diffs = self._buffer_matrix - point
+        distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        position = int(np.argmin(distances))
+        if distances[position] > self.eps:
+            return NOISE
+        return int(self._buffer_labels[position])
+
+    @property
+    def n_clusters(self) -> int:
+        if self._stale:
+            self.request_clustering()
+        return len({int(v) for v in self._buffer_labels if v != NOISE})
 
     def fit_predict(
         self,

@@ -20,7 +20,7 @@ from typing import Dict, FrozenSet, Optional, Sequence, Set
 import numpy as np
 
 from repro.baselines._centers import CenterArray
-from repro.baselines.base import StreamClusterer
+from repro.api import ClusterSnapshot, ServingView, StreamClusterer
 
 _mc_counter = itertools.count(1)
 
@@ -100,6 +100,7 @@ class DBStream(StreamClusterer):
         self._shared_update: Dict[FrozenSet[int], float] = {}
         self._now = 0.0
         self._last_cleanup = 0.0
+        self._n_points = 0
         self._macro_labels: Dict[int, int] = {}
         self._macro_stale = True
 
@@ -113,6 +114,7 @@ class DBStream(StreamClusterer):
         if timestamp is None:
             timestamp = self._now + 1.0
         self._now = max(self._now, timestamp)
+        self._n_points += 1
         self._macro_stale = True
 
         keys, distances = self._centers.distances_to(point)
@@ -168,7 +170,7 @@ class DBStream(StreamClusterer):
     # ------------------------------------------------------------------ #
     # offline phase
     # ------------------------------------------------------------------ #
-    def request_clustering(self) -> None:
+    def request_clustering(self) -> ClusterSnapshot:
         """Connect micro-clusters by shared density and label the components."""
         strong = {
             mc_id
@@ -205,6 +207,20 @@ class DBStream(StreamClusterer):
             cluster_id += 1
         self._macro_labels = labels
         self._macro_stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        mc_ids = self._centers.ids()
+        return ServingView(
+            time=self._now,
+            n_points=self._n_points,
+            seeds=self._centers.matrix(),
+            cell_ids=mc_ids,
+            labels=[self._macro_labels.get(mc_id, -1) for mc_id in mc_ids],
+            densities=[self._decayed_weight(self._clusters[mc_id]) for mc_id in mc_ids],
+            coverage=2.0 * self.radius,
+            metadata={"micro_clusters": len(self._clusters)},
+        )
 
     def _decayed_weight(self, mc: _DBMicroCluster) -> float:
         return mc.weight * (self.decay_factor ** max(0.0, self._now - mc.last_update))

@@ -24,7 +24,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.baselines._centers import CenterArray
-from repro.baselines.base import StreamClusterer
+from repro.api import ClusterSnapshot, ServingView, StreamClusterer
 from repro.baselines.dbscan import DBSCAN
 
 _mc_counter = itertools.count(1)
@@ -236,19 +236,31 @@ class DenStream(StreamClusterer):
     # ------------------------------------------------------------------ #
     # offline phase
     # ------------------------------------------------------------------ #
-    def request_clustering(self) -> None:
+    def request_clustering(self) -> ClusterSnapshot:
         """Run the offline weighted DBSCAN over the potential micro-clusters."""
         self._macro_labels = {}
-        if not self._potential:
-            self._macro_stale = False
-            return
-        mc_ids = list(self._potential)
-        centers = np.asarray([self._potential[m].center for m in mc_ids])
-        weights = np.asarray([self._potential[m].weight for m in mc_ids])
-        clusterer = DBSCAN(eps=2.0 * self.eps, min_pts=self.mu)
-        labels = clusterer.fit_predict(centers, weights=weights)
-        self._macro_labels = {mc_id: int(label) for mc_id, label in zip(mc_ids, labels)}
+        if self._potential:
+            mc_ids = list(self._potential)
+            centers = np.asarray([self._potential[m].center for m in mc_ids])
+            weights = np.asarray([self._potential[m].weight for m in mc_ids])
+            clusterer = DBSCAN(eps=2.0 * self.eps, min_pts=self.mu)
+            labels = clusterer.fit_predict(centers, weights=weights)
+            self._macro_labels = {mc_id: int(label) for mc_id, label in zip(mc_ids, labels)}
         self._macro_stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        mc_ids = self._potential_centers.ids()
+        return ServingView(
+            time=self._now,
+            n_points=self._n_points,
+            seeds=self._potential_centers.matrix(),
+            cell_ids=mc_ids,
+            labels=[self._macro_labels.get(mc_id, -1) for mc_id in mc_ids],
+            densities=[self._potential[mc_id].weight for mc_id in mc_ids],
+            coverage=2.0 * self.eps,
+            metadata={"micro_clusters": len(self._potential)},
+        )
 
     def predict_one(self, values: Sequence[float]) -> int:
         if self._macro_stale:

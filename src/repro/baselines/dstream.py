@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.base import StreamClusterer
+from repro.api import ClusterSnapshot, GridSpec, ServingView, StreamClusterer
 
 
 @dataclass
@@ -155,7 +155,7 @@ class DStream(StreamClusterer):
                 result.append(tuple(neighbour))
         return result
 
-    def request_clustering(self) -> None:
+    def request_clustering(self) -> ClusterSnapshot:
         """Offline phase: connected components of dense grids + transitional borders."""
         dense_threshold, sparse_threshold = self._thresholds()
         dense: List[Tuple[int, ...]] = []
@@ -190,6 +190,15 @@ class DStream(StreamClusterer):
                     break
         self._macro_labels = labels
         self._macro_stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        return ServingView(
+            time=self._now,
+            n_points=self._n_points,
+            grid=GridSpec(width=self.grid_size, labels=self._macro_labels),
+            metadata={"grids": len(self._grids)},
+        )
 
     def predict_one(self, values: Sequence[float]) -> int:
         if self._macro_stale:

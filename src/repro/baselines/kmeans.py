@@ -8,13 +8,21 @@ use and is deterministic given a seed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api import ClusterSnapshot, ServingView, StreamClusterer
 
-class KMeans:
+
+class KMeans(StreamClusterer):
     """Weighted k-means clustering.
+
+    Primarily a batch substrate (:meth:`fit` / :meth:`predict`, optionally
+    weighted — how CluStream and BIRCH recluster their summaries), but it
+    also implements the :class:`~repro.api.StreamClusterer` protocol as a
+    buffer-and-recluster adapter: :meth:`learn_one` collects points and
+    :meth:`request_clustering` refits the centres over the buffer.
 
     Parameters
     ----------
@@ -28,6 +36,8 @@ class KMeans:
         Random seed for the k-means++ initialisation.
     """
 
+    name = "k-means"
+
     def __init__(
         self, n_clusters: int, max_iter: int = 100, tol: float = 1e-6, seed: int = 0
     ) -> None:
@@ -35,12 +45,63 @@ class KMeans:
             raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
         if max_iter < 1:
             raise ValueError(f"max_iter must be >= 1, got {max_iter}")
-        self.n_clusters = n_clusters
+        #: Configured k; ``n_clusters`` reports the *fitted* cluster count
+        #: (the protocol's "clusters in the current clustering"), which can
+        #: be smaller when fewer points than k have been seen.
+        self.k = n_clusters
         self.max_iter = max_iter
         self.tol = tol
         self.seed = seed
         self.centers_: Optional[np.ndarray] = None
         self.inertia_: float = float("nan")
+        self._buffer: List[Tuple[float, ...]] = []
+        self._now = 0.0
+        self._stale = True
+
+    # ------------------------------------------------------------------ #
+    # StreamClusterer adapter (buffer + periodic refit)
+    # ------------------------------------------------------------------ #
+    def learn_one(
+        self, values: Sequence[float], timestamp: Optional[float] = None, label: Optional[int] = None
+    ) -> int:
+        if timestamp is None:
+            timestamp = self._now + 1.0
+        self._now = max(self._now, timestamp)
+        self._buffer.append(tuple(float(v) for v in values))
+        self._stale = True
+        return len(self._buffer) - 1
+
+    def request_clustering(self) -> ClusterSnapshot:
+        """Refit the centres over every buffered point."""
+        if self._buffer:
+            self.fit(self._buffer)
+        self._stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        centers = (
+            self.centers_ if self.centers_ is not None else np.empty((0, 0), dtype=float)
+        )
+        return ServingView(
+            time=self._now,
+            n_points=len(self._buffer),
+            seeds=centers,
+            cell_ids=list(range(centers.shape[0])),
+            labels=list(range(centers.shape[0])),
+            metadata={"inertia": self.inertia_},
+        )
+
+    def predict_one(self, values: Sequence[float]) -> int:
+        if self._stale and self._buffer:
+            self.request_clustering()
+        if self.centers_ is None:
+            return -1
+        return int(self.predict(values)[0])
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of fitted centres (0 before :meth:`fit`), per the protocol."""
+        return 0 if self.centers_ is None else int(self.centers_.shape[0])
 
     # ------------------------------------------------------------------ #
     def _init_centers(
@@ -48,7 +109,7 @@ class KMeans:
     ) -> np.ndarray:
         """k-means++ seeding (weighted)."""
         n = data.shape[0]
-        k = min(self.n_clusters, n)
+        k = min(self.k, n)
         probabilities = weights / weights.sum()
         first = int(rng.choice(n, p=probabilities))
         centers = [data[first]]

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.base import StreamClusterer
+from repro.api import ClusterSnapshot, GridSpec, ServingView, StreamClusterer
 
 
 @dataclass
@@ -179,7 +179,7 @@ class MRStream(StreamClusterer):
                 result.append(tuple(neighbour))
         return result
 
-    def request_clustering(self) -> None:
+    def request_clustering(self) -> ClusterSnapshot:
         """Offline phase at ``clustering_height``: group adjacent dense cells."""
         height = self.clustering_height
         dense_threshold, sparse_threshold = self._thresholds(height)
@@ -214,6 +214,22 @@ class MRStream(StreamClusterer):
                     break
         self._macro_labels = labels
         self._macro_stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        low, high = self.bounds
+        divisions = 2 ** self.clustering_height
+        return ServingView(
+            time=self._now,
+            n_points=self._n_points,
+            grid=GridSpec(
+                width=(high - low) / divisions,
+                origin=low,
+                divisions=divisions,
+                labels=self._macro_labels,
+            ),
+            metadata={"cells": self.n_cells, "height": self.clustering_height},
+        )
 
     def predict_one(self, values: Sequence[float]) -> int:
         if self._macro_stale:

@@ -20,7 +20,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.baselines._centers import CenterArray
-from repro.baselines.base import StreamClusterer
+from repro.api import ClusterSnapshot, ServingView, StreamClusterer
 from repro.core.decay import DecayModel
 
 
@@ -65,6 +65,7 @@ class PeriodicDPStream(StreamClusterer):
         self._next_id = 1
         self._now = 0.0
         self._start: Optional[float] = None
+        self._n_points = 0
         self._labels: Dict[int, int] = {}
         self._stale = True
 
@@ -78,6 +79,7 @@ class PeriodicDPStream(StreamClusterer):
         if self._start is None:
             self._start = timestamp
         self._now = max(self._now, timestamp)
+        self._n_points += 1
         self._stale = True
 
         nearest = self._centers.nearest(point)
@@ -106,14 +108,14 @@ class PeriodicDPStream(StreamClusterer):
         return max(1.0 + 1e-12, steady * warmup)
 
     # ------------------------------------------------------------------ #
-    def request_clustering(self) -> None:
+    def request_clustering(self) -> ClusterSnapshot:
         """Recompute the full DP structure (ρ, δ, dependencies) from scratch."""
         threshold = self._active_threshold()
         ids = [cid for cid in self._centers.ids() if self._density_now(cid) >= threshold]
         self._labels = {}
         if not ids:
             self._stale = False
-            return
+            return self._publish_snapshot()
         centers = np.asarray([self._centers.get(cid) for cid in ids])
         densities = np.asarray([self._density_now(cid) for cid in ids])
 
@@ -141,6 +143,21 @@ class PeriodicDPStream(StreamClusterer):
                 labels[index] = labels[parent]
         self._labels = {cid: labels[i] for i, cid in enumerate(ids)}
         self._stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        cell_ids = self._centers.ids()
+        return ServingView(
+            time=self._now,
+            n_points=self._n_points,
+            tau=self.tau,
+            seeds=self._centers.matrix(),
+            cell_ids=cell_ids,
+            labels=[self._labels.get(cid, -1) for cid in cell_ids],
+            densities=[self._density_now(cid) for cid in cell_ids],
+            coverage=self.radius,
+            metadata={"cells": len(self._centers)},
+        )
 
     def predict_one(self, values: Sequence[float]) -> int:
         if self._stale:

@@ -22,7 +22,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.baselines._centers import CenterArray
-from repro.baselines.base import StreamClusterer
+from repro.api import ClusterSnapshot, ServingView, StreamClusterer
 
 _so_counter = itertools.count(1)
 
@@ -103,6 +103,7 @@ class SOStream(StreamClusterer):
         self._centers = CenterArray()
         self._now = 0.0
         self._last_fade = 0.0
+        self._n_points = 0
         self._labels: Dict[int, int] = {}
         self._labels_stale = True
         #: Number of merge operations performed (exposed for tests/reports).
@@ -118,6 +119,7 @@ class SOStream(StreamClusterer):
         if timestamp is None:
             timestamp = self._now + 1.0
         self._now = max(self._now, timestamp)
+        self._n_points += 1
         self._labels_stale = True
 
         winner_id = self._winner(point)
@@ -216,11 +218,31 @@ class SOStream(StreamClusterer):
     # ------------------------------------------------------------------ #
     # clustering queries
     # ------------------------------------------------------------------ #
-    def request_clustering(self) -> None:
+    def request_clustering(self) -> ClusterSnapshot:
         """Assign compact macro labels to the surviving micro-clusters."""
         ordered = sorted(self._clusters)
         self._labels = {mc_id: i for i, mc_id in enumerate(ordered)}
         self._labels_stale = False
+        return self._publish_snapshot()
+
+    def _serving_view(self) -> ServingView:
+        mc_ids = self._centers.ids()
+        # Per-cluster coverage: predict_one reaches 2x the larger of the
+        # cluster's own radius and the merge threshold (see predict_one).
+        coverage = []
+        for mc_id in mc_ids:
+            reach = max(self._clusters[mc_id].radius, self.merge_threshold)
+            coverage.append(2.0 * reach if reach > 0 else np.inf)
+        return ServingView(
+            time=self._now,
+            n_points=self._n_points,
+            seeds=self._centers.matrix(),
+            cell_ids=mc_ids,
+            labels=[self._labels.get(mc_id, -1) for mc_id in mc_ids],
+            densities=[self._clusters[mc_id].weight for mc_id in mc_ids],
+            coverage=np.asarray(coverage, dtype=float),
+            metadata={"micro_clusters": len(self._clusters), "merges": self.n_merges},
+        )
 
     def predict_one(self, values: Sequence[float]) -> int:
         if self._labels_stale:

@@ -133,6 +133,7 @@ class BatchIngestor:
                 model._periodic_work(now)
             start = end + 1
 
+        model._epoch += 1  # invalidate published snapshots (serving side)
         model.total_learn_seconds += _time.perf_counter() - started
         return assigned
 

@@ -181,6 +181,19 @@ class CellStore:
         """Dependent distances of every stored cell (array order)."""
         return self._delta[: self._size].copy()
 
+    def seed_matrix(self) -> Optional[np.ndarray]:
+        """A copy of the numeric seed matrix in array order.
+
+        ``None`` for non-numeric stores; an empty ``(0, 0)`` matrix when no
+        cells are stored yet.  This is what snapshot publication freezes, so
+        the serving side never aliases the live arrays.
+        """
+        if not self._numeric:
+            return None
+        if self._seeds is None or self._size == 0:
+            return np.empty((0, self._dimension or 0), dtype=float)
+        return self._seeds[: self._size].copy()
+
     def distances_to(self, point: Any) -> np.ndarray:
         """Distances from ``point`` to every stored seed (array order)."""
         if self._size == 0:

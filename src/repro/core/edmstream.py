@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import math
 import time as _time
+import warnings
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api import ClusterSnapshot, ServingView, StreamClusterer, as_stream_points
 from repro.core.adaptive_tau import TauOptimizer, suggest_initial_tau
 from repro.core.cell import ClusterCell
 from repro.core.cellstore import CellStore
@@ -42,8 +44,14 @@ from repro.core.reservoir import OutlierReservoir
 from repro.distance import get_metric
 
 
-class EDMStream:
+class EDMStream(StreamClusterer):
     """Online density-mountain stream clustering.
+
+    Implements the :class:`~repro.api.StreamClusterer` protocol: ingestion
+    through :meth:`learn_one` / :meth:`learn_many`, serving through
+    immutable :class:`~repro.api.ClusterSnapshot` views published at batch
+    boundaries and on :meth:`request_clustering` (queries never walk the
+    live DP-Tree).
 
     Parameters
     ----------
@@ -54,6 +62,8 @@ class EDMStream:
         Convenience keyword overrides applied on top of ``config``
         (e.g. ``EDMStream(radius=0.5, beta=0.001)``).
     """
+
+    name = "EDMStream"
 
     def __init__(self, config: Optional[EDMStreamConfig] = None, **overrides: Any) -> None:
         if config is None:
@@ -90,6 +100,12 @@ class EDMStream:
         self._last_maintenance = 0.0
         self._last_snapshot = 0.0
         self._last_tau_opt = 0.0
+
+        # Serving side: published snapshots are rebuilt only when the live
+        # state has mutated since the last publication (epoch counter).
+        self._epoch = 0
+        self._published_epoch = -1
+        self._latest_snapshot: Optional[ClusterSnapshot] = None
 
         #: Wall-clock seconds spent in dependency updates (Figure 11).
         self.dependency_update_seconds = 0.0
@@ -150,6 +166,11 @@ class EDMStream:
         """Whether the initial DP-Tree has been built."""
         return self._initialized
 
+    @property
+    def outlier_label(self) -> int:
+        """Label returned by the query surface for uncovered points."""
+        return self.config.outlier_label
+
     # ------------------------------------------------------------------ #
     # thresholds
     # ------------------------------------------------------------------ #
@@ -197,6 +218,7 @@ class EDMStream:
         else:
             self._periodic_work(self._now)
 
+        self._epoch += 1
         self.total_learn_seconds += _time.perf_counter() - started
         return cell_id
 
@@ -205,7 +227,11 @@ class EDMStream:
         stream: Iterable[Any],
         batch_size: Optional[int] = 256,
     ) -> List[int]:
-        """Ingest an iterable of :class:`~repro.streams.point.StreamPoint`.
+        """Ingest an iterable of stream points or raw value vectors.
+
+        Accepts :class:`~repro.streams.point.StreamPoint` instances and raw
+        value vectors interchangeably (raw values get auto-assigned arrival
+        timestamps), per the :class:`~repro.api.StreamClusterer` protocol.
 
         By default the stream is processed in micro-batches of ``batch_size``
         points through :class:`~repro.core.batch.BatchIngestor`: assignment is
@@ -218,17 +244,25 @@ class EDMStream:
 
         Pass ``batch_size=None`` to force the paper-faithful per-point loop
         over :meth:`learn_one`.
+
+        Either way the call ends by refreshing the published
+        :class:`~repro.api.ClusterSnapshot` (a batch-boundary publication,
+        O(active cells)), so concurrent readers holding :meth:`snapshot`
+        observe at most one call's worth of staleness.
         """
+        points = as_stream_points(stream)
         if batch_size is None:
             assigned = []
-            for point in stream:
+            for point in points:
                 assigned.append(
                     self.learn_one(point.values, timestamp=point.timestamp, label=point.label)
                 )
-            return assigned
-        from repro.core.batch import BatchIngestor
+        else:
+            from repro.core.batch import BatchIngestor
 
-        return BatchIngestor(self, batch_size=batch_size).ingest(stream)
+            assigned = BatchIngestor(self, batch_size=batch_size).ingest(points)
+        self.request_clustering()
+        return assigned
 
     # ------------------------------------------------------------------ #
     # queries
@@ -253,31 +287,98 @@ class EDMStream:
         return assignment.get(cell_id, self.config.outlier_label)
 
     def cell_assignment(self) -> Dict[int, int]:
-        """Mapping of every active cell id to its cluster root id."""
+        """Mapping of every active cell id to its cluster root id.
+
+        .. deprecated::
+            Query through ``request_clustering().cell_assignment()`` instead;
+            this legacy entry point walks the live tree on every call.
+        """
+        warnings.warn(
+            "EDMStream.cell_assignment() is deprecated; use "
+            "request_clustering().cell_assignment() on the returned "
+            "ClusterSnapshot instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if len(self.tree) == 0:
             return {}
         return self.tree.cluster_assignment(self._effective_tau())
+
+    def request_clustering(self) -> ClusterSnapshot:
+        """Publish (or return) the up-to-date :class:`~repro.api.ClusterSnapshot`.
+
+        EDMStream maintains its clustering incrementally, so this costs one
+        O(active cells) publication when the live state changed since the
+        last call and is free otherwise.  The returned snapshot is immutable
+        and versioned; all queries (:meth:`predict_one`,
+        :meth:`predict_many`) are served from it.
+        """
+        if self._latest_snapshot is None or self._published_epoch != self._epoch:
+            snapshot = self._publish_snapshot()
+            self._published_epoch = self._epoch
+            return snapshot
+        return self._latest_snapshot
+
+    def _serving_view(self) -> ServingView:
+        """Serving state for snapshot publication (see :class:`ServingView`).
+
+        Coverage extends to twice the cell radius: a point can legitimately
+        sit in an inactive border cell whose own seed is up to ``r`` away
+        from the nearest active seed, so the cluster footprint reaches
+        ``2r`` beyond the active seeds (points farther are halos/outliers).
+        """
+        now = self._now
+        view = ServingView(
+            time=now,
+            n_points=self._n_points,
+            tau=self._tau,
+            coverage=2.0 * self.config.radius,
+            metadata={
+                "active_cells": self.n_active_cells,
+                "inactive_cells": self.n_inactive_cells,
+                "alpha": self.alpha,
+                "evolution": self.evolution.counts(),
+            },
+        )
+        if len(self.tree) == 0:
+            return view
+        tau = self._effective_tau()
+        view.tau = tau
+        assignment = self.tree.cluster_assignment(tau)
+        ids = self._active.ids()
+        outlier = self.config.outlier_label
+        view.cell_ids = ids
+        view.labels = [assignment.get(cell_id, outlier) for cell_id in ids]
+        view.densities = self._active.densities_at(now, self.decay)
+        if self._numeric:
+            view.seeds = self._active.seed_matrix()
+        else:
+            view.seed_objects = [self._active.get(cell_id).seed for cell_id in ids]
+            view.metric = self._metric
+        return view
 
     def predict_one(self, values: Any) -> int:
         """Cluster label for a point under the current model (no learning).
 
         Returns the root cell id of the cluster whose nearest active cell
-        covers the point, or ``config.outlier_label``.  Coverage extends to
-        twice the cell radius: a point can legitimately sit in an inactive
-        border cell whose own seed is up to ``r`` away from the nearest
-        active seed, so the cluster footprint reaches ``2r`` beyond the
-        active seeds (points farther than that are halos / outliers).
+        covers the point (within ``2r``, see :meth:`_serving_view`), or
+        ``config.outlier_label``.  Served off the published snapshot — the
+        snapshot is rebuilt at most once per mutation epoch, so repeated
+        queries between ingestions share one frozen view.
         """
-        if len(self.tree) == 0:
-            return self.config.outlier_label
-        point = self._prepare(values)
-        nearest = self._active.nearest(point)
-        if nearest is None:
-            return self.config.outlier_label
-        cell_id, distance = nearest
-        if distance > 2.0 * self.config.radius:
-            return self.config.outlier_label
-        return self.cluster_label_of_cell(cell_id)
+        return int(self.request_clustering().predict_one(self._prepare(values)))
+
+    def predict_many(self, points: Sequence[Any]) -> np.ndarray:
+        """Vectorised :meth:`predict_one` for a batch of query points.
+
+        One call into the snapshot's blocked
+        :func:`~repro.distance.metrics.pairwise_euclidean` kernel instead of
+        one Python-level scan per point; row ``i`` equals
+        ``predict_one(points[i])``.
+        """
+        if not hasattr(points, "__len__"):
+            points = list(points)
+        return self.request_clustering().predict_many(points)
 
     def decision_graph(self) -> List[Tuple[float, float, int]]:
         """(ρ, δ, cell id) triples of the active cells — the decision graph of Fig. 2b."""

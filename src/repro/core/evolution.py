@@ -92,6 +92,9 @@ class EvolutionTracker:
         self._previous: Optional[_Snapshot] = None
         #: Lifespan bookkeeping: cluster id -> (first_seen, last_seen).
         self.lifespans: Dict[int, Tuple[float, float]] = {}
+        #: Incremental per-type tallies so :meth:`counts` is O(#types) even
+        #: on long event logs (snapshot publication embeds it every time).
+        self._counts: Dict[str, int] = {t.value: 0 for t in EvolutionType}
 
     # ------------------------------------------------------------------ #
     # observation API
@@ -116,12 +119,11 @@ class EvolutionTracker:
                 )
                 for cid in sorted(snapshot.partition)
             ]
-            self.events.extend(events)
-            self._previous = snapshot
-            return events
-
-        events = self._diff(self._previous, snapshot)
+        else:
+            events = self._diff(self._previous, snapshot)
         self.events.extend(events)
+        for event in events:
+            self._counts[event.event_type.value] += 1
         self._previous = snapshot
         return events
 
@@ -320,11 +322,8 @@ class EvolutionTracker:
         return [e for e in self.events if e.event_type == event_type]
 
     def counts(self) -> Dict[str, int]:
-        """Number of recorded events per type."""
-        result: Dict[str, int] = {t.value: 0 for t in EvolutionType}
-        for event in self.events:
-            result[event.event_type.value] += 1
-        return result
+        """Number of recorded events per type (O(#types), kept incrementally)."""
+        return dict(self._counts)
 
     def timeline(self) -> List[Tuple[float, str, str]]:
         """A flat (time, type, description) view of the event log, for printing."""

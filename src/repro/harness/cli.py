@@ -46,6 +46,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         "Figure 10 extension — micro-batch vs sequential ingestion throughput",
         lambda points: experiments.experiment_batch_throughput(n_points=points or 16000),
     ),
+    "query": (
+        "Serving extension — snapshot predict_many vs per-point query loop",
+        lambda points: experiments.experiment_query_throughput(n_points=points or 16000),
+    ),
     "fig11": (
         "Figure 11 — dependency-update filtering ablation",
         lambda points: experiments.experiment_filtering(n_points=points or 20000),

@@ -367,6 +367,92 @@ def experiment_batch_throughput(
     return result
 
 
+def experiment_query_throughput(
+    n_points: int = 16000,
+    n_queries: int = 10000,
+    batch_sizes: Sequence[int] = (1, 64, 4096),
+    seed: int = 7,
+) -> ExperimentResult:
+    """Serving-side query throughput of the snapshot API on the SDS workload.
+
+    After ingesting the SDS stream, a fixed query set is answered through
+    the per-point ``model.predict_one`` loop (what a caller predating
+    ``predict_many`` pays: one Python call and one single-row kernel
+    invocation per query) and through the vectorised
+    ``ClusterSnapshot.predict_many`` at several batch sizes (each batch size
+    chunks the query set, mimicking request batching in a serving layer).
+    Both run off the same published snapshot — ``predict_one`` is
+    snapshot-served too since the ingest/serve split — so the measured gap
+    isolates the per-call overhead that batching amortises, and the label
+    equality asserted here checks the blocked kernel against the single-row
+    path.  Emitted to ``BENCH_query.json`` by the CI benchmark-smoke job,
+    which gates on ``predict_many`` never being slower than the per-point
+    loop.
+    """
+    import time as _time
+
+    result = ExperimentResult(
+        experiment_id="query_throughput",
+        description="Snapshot predict_many vs per-point predict_one loop (points/second)",
+    )
+    stream = SDSGenerator(n_points=n_points, rate=1000.0, seed=seed).generate()
+    model = EDMStream(radius=0.3, beta=0.0021, stream_rate=stream.rate)
+    model.learn_many(stream)
+    snapshot = model.request_clustering()
+
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(stream), size=n_queries)
+    queries = [stream[int(i)].values for i in indices]
+
+    started = _time.perf_counter()
+    loop_labels = [model.predict_one(q) for q in queries]
+    loop_seconds = _time.perf_counter() - started
+
+    rows = [
+        {
+            "mode": "predict_one-loop",
+            "batch_size": 0,
+            "points_per_second": round(n_queries / loop_seconds, 1),
+            "speedup_vs_loop": 1.0,
+        }
+    ]
+    for batch_size in batch_sizes:
+        started = _time.perf_counter()
+        batch_labels: List[int] = []
+        for start in range(0, n_queries, batch_size):
+            batch_labels.extend(
+                int(v) for v in snapshot.predict_many(queries[start : start + batch_size])
+            )
+        elapsed = _time.perf_counter() - started
+        if batch_labels != [int(v) for v in loop_labels]:
+            raise AssertionError(
+                "batched predict_many disagrees with the single-row predict_one path"
+            )
+        rows.append(
+            {
+                "mode": f"predict_many-{batch_size}",
+                "batch_size": batch_size,
+                "points_per_second": round(n_queries / elapsed, 1),
+                "speedup_vs_loop": round(loop_seconds / elapsed, 3),
+            }
+        )
+    result.add_table("summary", rows)
+    result.add_series(
+        "query_throughput",
+        SeriesResult(
+            name="snapshot queries",
+            x=[row["batch_size"] for row in rows],
+            y=[row["points_per_second"] for row in rows],
+            x_label="query batch size (0 = per-point loop)",
+            y_label="points per second",
+        ),
+    )
+    result.metadata["n_points"] = n_points
+    result.metadata["n_queries"] = n_queries
+    result.metadata["snapshot"] = snapshot.summary()
+    return result
+
+
 def _speedup_table(
     rows: List[Dict[str, Any]], value_key: str, invert: bool
 ) -> List[Dict[str, Any]]:

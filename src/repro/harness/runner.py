@@ -16,6 +16,7 @@ The runner reproduces the measurement methodology of Section 6:
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
 from typing import Any, Deque, Iterable, Optional
 
@@ -115,10 +116,19 @@ class StreamRunner:
             request = getattr(algorithm, "request_clustering", None)
             started = time.perf_counter()
             if request is not None:
+                # Protocol path: the offline step publishes an immutable
+                # ClusterSnapshot; queries below are served from it.
                 request()
             else:
-                # EDMStream maintains its clustering incrementally; asking for
-                # the current partition is its equivalent "offline" step.
+                # Legacy duck-typed path for objects predating the
+                # StreamClusterer protocol.
+                warnings.warn(
+                    "algorithms without request_clustering() are deprecated; "
+                    "implement the repro.api.StreamClusterer protocol instead "
+                    "of the dict-returning clusters() surface",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
                 clusters = getattr(algorithm, "clusters", None)
                 if clusters is not None:
                     clusters()
@@ -144,16 +154,24 @@ class StreamRunner:
     def _evaluate_quality(self, algorithm: Any, window: Deque[StreamPoint]) -> float:
         points = []
         true_labels = []
-        predicted_labels = []
+        values = []
         timestamps = []
         for point in window:
             if point.label is None:
                 continue
             points.append(point.as_tuple())
             true_labels.append(point.label)
-            predicted_labels.append(int(algorithm.predict_one(point.values)))
+            values.append(point.values)
             timestamps.append(point.timestamp)
         if not points:
             return 1.0
+        # One batch query against the published snapshot instead of one
+        # per-point scan each (predict_many falls back to a predict_one loop
+        # for algorithms without a vectorised serving path).
+        predict_many = getattr(algorithm, "predict_many", None)
+        if predict_many is not None:
+            predicted_labels = [int(label) for label in predict_many(values)]
+        else:
+            predicted_labels = [int(algorithm.predict_one(v)) for v in values]
         result = self.cmm.evaluate(points, true_labels, predicted_labels, timestamps)
         return result.value

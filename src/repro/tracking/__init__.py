@@ -12,11 +12,17 @@ successive clusterings:
 * :mod:`repro.tracking.mec` — MEC (Oliveira & Gama, IDA 2012): a bipartite
   transition graph built from conditional probabilities between snapshots.
 * :mod:`repro.tracking.adapter` — glue that records object-level cluster
-  snapshots from any :class:`~repro.baselines.base.StreamClusterer` (via
-  ``predict_one`` over a sliding window of recent points) so the offline
+  snapshots from any :class:`~repro.api.StreamClusterer` (via
+  ``predict_many`` over a sliding window of recent points) so the offline
   trackers can be applied to algorithms without native evolution tracking,
   and helpers to compare their event logs with EDMStream's
   :class:`~repro.core.evolution.EvolutionTracker`.
+
+Naming note: :class:`repro.tracking.ClusterSnapshot` is MONIC/MEC's
+*object-level* snapshot (which recent points sit in which cluster, with
+freshness weights) and predates the serving API; it is unrelated to the
+immutable *serving* view :class:`repro.api.ClusterSnapshot` that
+``request_clustering()`` returns.
 """
 
 from repro.tracking.transitions import (

@@ -99,12 +99,24 @@ class SnapshotRecorder:
     # snapshot construction
     # ------------------------------------------------------------------ #
     def snapshot(self, time: float) -> ClusterSnapshot:
-        """Query the clusterer for every windowed point and build a snapshot."""
+        """Query the clusterer for every windowed point and build a snapshot.
+
+        The whole window is resolved through one ``predict_many`` batch
+        query when the clusterer supports it (every
+        :class:`~repro.api.StreamClusterer` does — EDMStream serves it
+        vectorised off its published snapshot), falling back to a
+        ``predict_one`` loop for duck-typed clusterers.
+        """
+        windowed_points = list(self._window)
+        predict_many = getattr(self.clusterer, "predict_many", None)
+        if predict_many is not None and windowed_points:
+            labels = [int(v) for v in predict_many([w.values for w in windowed_points])]
+        else:
+            labels = [int(self.clusterer.predict_one(w.values)) for w in windowed_points]
         assignment: Dict[Hashable, Hashable] = {}
         weights: Dict[Hashable, float] = {}
         locations: Dict[Hashable, Tuple[float, ...]] = {}
-        for windowed in self._window:
-            label = self.clusterer.predict_one(windowed.values)
+        for windowed, label in zip(windowed_points, labels):
             assignment[windowed.point_id] = label
             if self.decay is not None:
                 weights[windowed.point_id] = self.decay.freshness(windowed.timestamp, time)
