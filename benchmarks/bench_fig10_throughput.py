@@ -69,13 +69,14 @@ def bench_fig10_batch_ingestion(benchmark):
 
     Gates: at batch size 256 the batch path must never be slower than the
     sequential path, and on the paper's synthetic workloads (SDS, HDS) it
-    must reach ``BENCH_BATCH_MIN_SPEEDUP`` (default 3×; the CI smoke job
-    lowers this to 1× because its runners are small and noisy).  The
-    real-dataset surrogates are dominated by the irreducible nearest-seed
-    scan that both paths share, so they gate only on "not slower".
+    must reach ``BENCH_BATCH_MIN_SPEEDUP`` (default 6×, reflecting the
+    structure-of-arrays batch engine; the CI smoke job lowers this to 2×
+    because its runners are small and noisy).  The real-dataset surrogates
+    are dominated by the irreducible nearest-seed scan that both paths
+    share, so they gate only on "not slower".
     """
     n_points = int(os.environ.get("BENCH_FIG10_POINTS", "16000"))
-    min_speedup = float(os.environ.get("BENCH_BATCH_MIN_SPEEDUP", "3.0"))
+    min_speedup = float(os.environ.get("BENCH_BATCH_MIN_SPEEDUP", "6.0"))
     # "Not slower than sequential" floor.  The default sits slightly below
     # 1.0 because the gate compares two single wall-clock runs: on the
     # surrogate datasets (speedup ~2x) the margin is comfortable, but a

@@ -174,7 +174,16 @@ class ClusterSnapshot:
 
     def __post_init__(self) -> None:
         freeze = object.__setattr__
-        freeze(self, "seeds", _frozen_array(self.seeds, float))
+        # The seed matrix arrives as a slice straight out of the arena's
+        # contiguous storage; keep its reduced precision (float32 mode)
+        # instead of silently doubling the serving-side footprint.
+        seed_dtype = (
+            self.seeds.dtype
+            if isinstance(self.seeds, np.ndarray)
+            and self.seeds.dtype in (np.float32, np.float64)
+            else float
+        )
+        freeze(self, "seeds", _frozen_array(self.seeds, seed_dtype))
         if self.seed_objects is not None:
             freeze(self, "seed_objects", tuple(self.seed_objects))
         freeze(self, "cell_ids", _frozen_array(self.cell_ids, np.int64))
@@ -290,7 +299,7 @@ class ClusterSnapshot:
         return out
 
     def _predict_numeric(self, points: Sequence[Any]) -> np.ndarray:
-        queries = np.asarray(points, dtype=float)
+        queries = np.asarray(points, dtype=self.seeds.dtype)
         if queries.ndim == 1:
             queries = queries[None, :]
         n = queries.shape[0]

@@ -8,7 +8,7 @@ encode the density-dependency relationship.  This module implements:
 
 * :class:`ClusteringFeature` — the (N, LS, SS) summary triple,
 * :class:`CFTree` — the height-balanced insertion tree with node splitting,
-* :class:`Birch` — the :class:`~repro.baselines.base.StreamClusterer`
+* :class:`Birch` — the :class:`~repro.api.StreamClusterer`
   wrapper whose offline phase clusters the leaf entries globally (weighted
   k-means when a target cluster count is given, otherwise agglomerative
   merging of leaf centroids by distance threshold).

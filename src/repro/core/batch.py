@@ -52,11 +52,12 @@ from __future__ import annotations
 
 import math
 import time as _time
+from itertools import islice
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.cell import ClusterCell
+from repro.core.cellstore import nearest_over_slots
 from repro.distance.metrics import pairwise_euclidean
 from repro.streams.point import StreamPoint
 
@@ -93,15 +94,12 @@ class BatchIngestor:
     def ingest(self, stream: Iterable[StreamPoint]) -> List[int]:
         """Ingest an iterable of stream points; returns absorbing cell ids."""
         assigned: List[int] = []
-        batch: List[StreamPoint] = []
-        for point in stream:
-            batch.append(point)
-            if len(batch) >= self.batch_size:
-                assigned.extend(self.ingest_batch(batch))
-                batch.clear()
-        if batch:
+        iterator = iter(stream)
+        while True:
+            batch = list(islice(iterator, self.batch_size))
+            if not batch:
+                return assigned
             assigned.extend(self.ingest_batch(batch))
-        return assigned
 
     def ingest_batch(self, points: Sequence[StreamPoint]) -> List[int]:
         """Ingest one micro-batch; returns the absorbing cell id per point."""
@@ -232,8 +230,8 @@ class BatchIngestor:
         model._n_points += len(chunk_values)
         model._now = float(chunk_times[-1])
 
-        absorptions = self._assign_chunk(chunk_values, chunk_times, labels, start, assigned)
-        dirty = self._apply_absorptions(absorptions, chunk_times, labels, start)
+        groups = self._assign_chunk(chunk_values, chunk_times, labels, start, assigned)
+        dirty = self._apply_absorptions(groups, chunk_times, labels, start)
         if model._initialized and dirty:
             started = _time.perf_counter()
             self._repair_dependencies(dirty, float(chunk_times[-1]))
@@ -246,38 +244,70 @@ class BatchIngestor:
         labels: List[Optional[int]],
         offset: int,
         assigned: List[int],
-    ) -> Dict[int, List[int]]:
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
         """Vectorised nearest-seed assignment for one chunk.
 
         Existing seeds are queried through one distance-matrix computation
         per store.  Each seed created inside the chunk updates the remaining
         points' best-new-seed distance with one vectorised pass, so later
         points of the same chunk can still be absorbed by it, exactly as in
-        the sequential path.  Returns absorbed point indices (chunk-local)
-        grouped per absorbing cell, in first-absorption order.
+        the sequential path.  Returns the absorbed points grouped by
+        absorbing cell as ``(group_ids, starts, counts, order)`` arrays —
+        ``order`` holds chunk-local point indices sorted by absorbing cell
+        (ascending within each group), ``starts``/``counts`` delimit the
+        groups — or ``None`` when no point was absorbed.
         """
         model = self.model
         radius = model.config.radius
         numeric = model._numeric
         metric = model._metric
 
-        active_best, active_best_id = model._active.nearest_many(chunk_values, within=radius)
-        inactive_best, inactive_best_id = model._inactive.nearest_many(chunk_values, within=radius)
-
         size = len(chunk_values)
-        # Canonical combine of the two stores, vectorised across the chunk.
-        if active_best is None:
-            store_best, store_best_id = inactive_best, inactive_best_id
-        elif inactive_best is None:
-            store_best, store_best_id = active_best, active_best_id
+        arena = model._cells
+        if numeric and arena.seeds is not None:
+            # One scan over the union of both populations: same distances,
+            # same smallest-id tie rule as querying the stores separately
+            # and combining, but with a single kernel invocation per block.
+            slots = np.concatenate((model._active.slots(), model._inactive.slots()))
+            if slots.size == 0:
+                store_best = store_best_id = None
+            else:
+                ids = np.concatenate(
+                    (model._active._ids_array(), model._inactive._ids_array())
+                )
+                queries = np.asarray(chunk_values, dtype=arena.seed_dtype)
+                store_best, store_best_id = nearest_over_slots(
+                    arena,
+                    slots,
+                    ids,
+                    queries,
+                    within=radius,
+                    prune_threshold=model._active.prune_threshold,
+                )
         else:
-            take = (inactive_best < active_best) | (
-                (inactive_best == active_best) & (inactive_best_id < active_best_id)
+            active_best, active_best_id = model._active.nearest_many(
+                chunk_values, within=radius
             )
-            store_best = np.where(take, inactive_best, active_best)
-            store_best_id = np.where(take, inactive_best_id, active_best_id)
+            inactive_best, inactive_best_id = model._inactive.nearest_many(
+                chunk_values, within=radius
+            )
+            # Canonical combine of the two stores, vectorised across the chunk.
+            if active_best is None:
+                store_best, store_best_id = inactive_best, inactive_best_id
+            elif inactive_best is None:
+                store_best, store_best_id = active_best, active_best_id
+            else:
+                take = (inactive_best < active_best) | (
+                    (inactive_best == active_best)
+                    & (inactive_best_id < active_best_id)
+                )
+                store_best = np.where(take, inactive_best, active_best)
+                store_best_id = np.where(take, inactive_best_id, active_best_id)
 
-        absorptions: Dict[int, List[int]] = {}
+        # Per-point absorbing cell id; points that seed a new cell instead are
+        # flagged in ``created`` and excluded from the absorption groups.
+        absorber = np.empty(size, dtype=np.int64)
+        created = np.zeros(size, dtype=bool)
         # Up to the first point that seeds a new cell, assignments depend
         # only on the pre-chunk stores and resolve without a Python loop —
         # in steady state that is the entire chunk.
@@ -287,81 +317,130 @@ class BatchIngestor:
             outside = store_best > radius
             first_create = int(np.argmax(outside)) if outside.any() else size
         if first_create:
-            prefix = store_best_id[:first_create]
-            assigned[offset : offset + first_create] = prefix.tolist()
-            unique_ids, inverse = np.unique(prefix, return_inverse=True)
-            order = np.argsort(inverse, kind="stable")
-            groups = np.split(order, np.cumsum(np.bincount(inverse))[:-1])
-            for unique_id, group in zip(unique_ids, groups):
-                absorptions[int(unique_id)] = group.tolist()
-        if first_create >= size:
-            return absorptions
+            absorber[:first_create] = store_best_id[:first_create]
 
-        # Nearest chunk-created seed per point; strictly-smaller updates keep
-        # the earliest-created (smallest-id) seed on exact ties, and since
-        # chunk-created cells carry the largest ids overall, a tie against a
-        # pre-existing seed also resolves canonically.  All chunk-internal
-        # distances come from one lazily computed pairwise matrix.
-        fresh_best = np.full(size, math.inf)
-        fresh_id = np.zeros(size, dtype=np.int64)
-        chunk_pairs: Optional[np.ndarray] = None
-
-        for j in range(first_create, size):
-            value = chunk_values[j]
-            best_id: Optional[int] = None
-            best_distance = math.inf
-            if store_best is not None:
-                best_id = int(store_best_id[j])
-                best_distance = float(store_best[j])
-            if fresh_best[j] < best_distance:
-                best_id = int(fresh_id[j])
-                best_distance = float(fresh_best[j])
-
-            if best_id is not None and best_distance <= radius:
-                absorptions.setdefault(best_id, []).append(j)
-                assigned[offset + j] = best_id
-                continue
-
-            cell = ClusterCell(
-                seed=tuple(float(v) for v in value) if numeric else value,
-                density=1.0,
-                created_at=float(chunk_times[j]),
-                last_update=float(chunk_times[j]),
-                last_absorb=float(chunk_times[j]),
-            )
-            label = labels[offset + j]
-            if label is not None:
-                cell.label_votes[label] = 1
-            model.reservoir.add(cell)
-            model._inactive.add(cell)
-            assigned[offset + j] = cell.cell_id
-            if j + 1 >= size:
-                continue
+        if first_create < size:
+            # Nearest chunk-created seed per point; strictly-smaller updates
+            # keep the earliest-created (smallest-id) seed on exact ties, and
+            # since chunk-created cells carry the largest ids overall, a tie
+            # against a pre-existing seed also resolves canonically.
+            fresh_best = np.full(size, math.inf)
+            fresh_id = np.zeros(size, dtype=np.int64)
             if numeric:
-                # Same shared kernel as the stores, for bit-identical
-                # distances to what later store queries will report.
-                if chunk_pairs is None:
-                    chunk_pairs = pairwise_euclidean(chunk_values, chunk_values)
-                distances = chunk_pairs[j + 1 :, j]
+                # Only points outside every pre-existing cell can create a
+                # seed, so the Python loop visits just those; each created
+                # seed updates the later points' best-fresh-seed distance
+                # with one vectorised pass over its row of the (outside,
+                # chunk) distance matrix — same shared kernel as the store
+                # queries, for bit-identical distances.
+                if store_best is None:
+                    candidates = np.arange(size)
+                else:
+                    candidates = np.flatnonzero(outside)
+                candidate_rows: Optional[np.ndarray] = None
+                for row, j in enumerate(candidates.tolist()):
+                    if fresh_best[j] <= radius:
+                        continue  # absorbed by a seed created earlier in the chunk
+                    cell = model._cells.create(
+                        tuple(float(v) for v in chunk_values[j]),
+                        density=1.0,
+                        created_at=float(chunk_times[j]),
+                        last_update=float(chunk_times[j]),
+                        last_absorb=float(chunk_times[j]),
+                    )
+                    label = labels[offset + j]
+                    if label is not None:
+                        cell.label_votes[label] = 1
+                    model.reservoir.add(cell)
+                    model._inactive.add(cell)
+                    absorber[j] = cell.cell_id
+                    created[j] = True
+                    if j + 1 >= size:
+                        continue
+                    if candidate_rows is None:
+                        candidate_rows = pairwise_euclidean(
+                            chunk_values[candidates], chunk_values
+                        )
+                    distances = candidate_rows[row, j + 1 :]
+                    better = distances < fresh_best[j + 1 :]
+                    fresh_best[j + 1 :][better] = distances[better]
+                    fresh_id[j + 1 :][better] = cell.cell_id
+                tail = np.arange(first_create, size)
+                tail = tail[~created[first_create:]]
+                if tail.size:
+                    if store_best is None:
+                        absorber[tail] = fresh_id[tail]
+                    else:
+                        use_fresh = fresh_best[tail] < store_best[tail]
+                        absorber[tail] = np.where(
+                            use_fresh, fresh_id[tail], store_best_id[tail]
+                        )
             else:
-                distances = np.asarray(
-                    [metric(chunk_values[i], value) for i in range(j + 1, size)],
-                    dtype=float,
-                )
-            better = distances < fresh_best[j + 1 :]
-            fresh_best[j + 1 :][better] = distances[better]
-            fresh_id[j + 1 :][better] = cell.cell_id
-        return absorptions
+                for j in range(first_create, size):
+                    value = chunk_values[j]
+                    best_id: Optional[int] = None
+                    best_distance = math.inf
+                    if store_best is not None:
+                        best_id = int(store_best_id[j])
+                        best_distance = float(store_best[j])
+                    if fresh_best[j] < best_distance:
+                        best_id = int(fresh_id[j])
+                        best_distance = float(fresh_best[j])
+
+                    if best_id is not None and best_distance <= radius:
+                        absorber[j] = best_id
+                        continue
+
+                    cell = model._cells.create(
+                        value,
+                        density=1.0,
+                        created_at=float(chunk_times[j]),
+                        last_update=float(chunk_times[j]),
+                        last_absorb=float(chunk_times[j]),
+                    )
+                    label = labels[offset + j]
+                    if label is not None:
+                        cell.label_votes[label] = 1
+                    model.reservoir.add(cell)
+                    model._inactive.add(cell)
+                    absorber[j] = cell.cell_id
+                    created[j] = True
+                    if j + 1 >= size:
+                        continue
+                    distances = np.asarray(
+                        [metric(chunk_values[i], value) for i in range(j + 1, size)],
+                        dtype=float,
+                    )
+                    better = distances < fresh_best[j + 1 :]
+                    fresh_best[j + 1 :][better] = distances[better]
+                    fresh_id[j + 1 :][better] = cell.cell_id
+
+        assigned[offset : offset + size] = absorber.tolist()
+        # Group the absorbed points by absorbing cell with one stable sort;
+        # within each group the chunk-local indices stay ascending (arrival
+        # order), which the trajectory/threshold logic downstream relies on.
+        if created.any():
+            points = np.flatnonzero(~created)
+            if points.size == 0:
+                return None
+            order = points[np.argsort(absorber[points], kind="stable")]
+        else:
+            order = np.argsort(absorber, kind="stable")
+        gids = absorber[order]
+        starts = np.concatenate(([0], np.flatnonzero(gids[1:] != gids[:-1]) + 1))
+        counts = np.diff(np.append(starts, order.size))
+        return gids[starts], starts, counts, order
 
     def _apply_absorptions(
         self,
-        absorptions: Dict[int, List[int]],
+        groups: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
         chunk_times: np.ndarray,
         labels: List[Optional[int]],
         offset: int,
     ) -> List[int]:
         """Apply per-(cell, chunk) density updates; returns the dirty cells.
 
+        ``groups`` is the grouped-absorption output of :meth:`_assign_chunk`.
         Dirty cells are the active absorbers plus the inactive cells whose
         density trajectory crossed the activation threshold inside the chunk
         (activated here, in crossing order, mirroring the sequential path's
@@ -369,69 +448,190 @@ class BatchIngestor:
         """
         model = self.model
         decay = model.decay
+        arena = model._cells
+        tree = model.tree
         initialized = model._initialized
-        dirty: List[int] = []
-        to_activate: List[Tuple[int, int]] = []
-        for cell_id, indices in absorptions.items():
-            in_tree = cell_id in model.tree
-            crossing: Optional[int] = None
-            if len(indices) == 1:
-                # Scalar fast path: one absorption is exactly Equation 8 (and
-                # bit-identical to ``ClusterCell.absorb``).
-                last = float(chunk_times[indices[0]])
-                cell = model.tree.get(cell_id) if in_tree else model.reservoir.get(cell_id)
-                cell.density = (
-                    decay.decay_density(cell.density, max(0.0, last - cell.last_update)) + 1.0
-                )
-                if not in_tree and initialized and cell.density >= model.active_threshold(last):
-                    crossing = indices[0]
-            else:
-                arrivals = chunk_times[indices]
-                last = float(arrivals[-1])
-                if in_tree:
-                    cell = model.tree.get(cell_id)
-                    cell.density = float(
-                        decay.batch_absorb(cell.density, cell.last_update, arrivals)
-                    )
-                else:
-                    cell = model.reservoir.get(cell_id)
-                    if initialized:
-                        trajectory = decay.absorb_trajectory(
-                            cell.density, cell.last_update, arrivals
-                        )
-                        crossed = np.flatnonzero(trajectory >= self._thresholds_at(arrivals))
-                        if crossed.size:
-                            crossing = indices[int(crossed[0])]
-                        cell.density = float(trajectory[-1])
-                    else:
-                        cell.density = float(
-                            decay.batch_absorb(cell.density, cell.last_update, arrivals)
-                        )
-            cell.last_update = last
-            cell.last_absorb = last
-            cell.points_absorbed += len(indices)
-            for index in indices:
-                label = labels[offset + index]
-                if label is not None:
-                    cell.label_votes[label] = cell.label_votes.get(label, 0) + 1
-            if in_tree:
-                model._active.update_density(cell_id, cell.density, cell.last_update)
-                dirty.append(cell_id)
-            else:
-                model._inactive.update_density(cell_id, cell.density, cell.last_update)
-                if crossing is not None:
-                    to_activate.append((crossing, cell_id))
+        if groups is None:
+            return []
 
-        to_activate.sort()
+        # One row per absorbing cell, gathered straight from the arena
+        # columns; everything below is whole-array arithmetic over these.
+        group_ids, starts, counts, order = groups
+        n = group_ids.shape[0]
+        id_list = group_ids.tolist()
+        slot_map = arena._slot_of
+        slots = np.fromiter((slot_map[cid] for cid in id_list), dtype=np.int64, count=n)
+        in_tree = np.fromiter((cid in tree for cid in id_list), dtype=bool, count=n)
+        last_times = chunk_times[order[starts + counts - 1]]
+        a, lam = decay.a, decay.lam
+        density = arena.density
+        last_update = arena.last_update
+        crossings: Dict[int, int] = {}
+
+        # Batched Equation 8 for every group at once: decayed old density
+        # plus one grouped freshness sum (``np.add.reduceat`` over the
+        # concatenated arrivals) — the closed form of
+        # ``DecayModel.batch_absorb``; a single-point group contributes
+        # ``a^0 = 1.0`` exactly, matching ``ClusterCell.absorb``.
+        arrivals = chunk_times[order]
+        fresh = a ** (lam * (np.repeat(last_times, counts) - arrivals))
+        increments = np.add.reduceat(fresh, starts)
+
+        # Inactive multi-absorption cells need their full density trajectory
+        # (below) to find the first activation-threshold crossing; everything
+        # else takes the closed form.
+        trajectory_rows = (
+            ~in_tree & (counts > 1) if initialized else np.zeros(n, dtype=bool)
+        )
+        if trajectory_rows.any():
+            rows = np.flatnonzero(~trajectory_rows)
+            s = slots[rows]
+            elapsed = np.maximum(0.0, last_times[rows] - last_update[s])
+            density[s] = density[s] * a ** (lam * elapsed) + increments[rows]
+            traj = np.flatnonzero(trajectory_rows)
+            t_slots = slots[traj]
+            t_counts = counts[traj]
+            sel = np.repeat(trajectory_rows, counts)
+            t_arr = arrivals[sel]
+            t_order = order[sel]
+            seg_ends = np.cumsum(t_counts)
+            seg_starts = seg_ends - t_counts
+            t0 = t_arr[seg_starts]
+            # Exponents relative to each segment's first arrival stay bounded
+            # by the chunk's time span (see ``DecayModel.absorb_trajectory``);
+            # a span wide enough to overflow falls back to the per-row path.
+            rel = lam * (t_arr - np.repeat(t0, t_counts))
+            if float(rel[seg_ends - 1].max()) * -math.log(a) > 600.0:
+                for r in traj:
+                    slot = int(slots[r])
+                    indices = order[starts[r] : starts[r] + counts[r]]
+                    arr = chunk_times[indices]
+                    trajectory = decay.absorb_trajectory(
+                        float(density[slot]), float(last_update[slot]), arr
+                    )
+                    crossed = np.flatnonzero(trajectory >= self._thresholds_at(arr))
+                    if crossed.size:
+                        crossings[id_list[r]] = int(indices[int(crossed[0])])
+                    density[slot] = float(trajectory[-1])
+            else:
+                # Segmented form of ``absorb_trajectory``: one global cumsum
+                # with per-segment offsets replaces the per-cell calls.
+                decayed = density[t_slots] * a ** (
+                    lam * np.maximum(0.0, t0 - last_update[t_slots])
+                )
+                forward = a**rel
+                cs = np.cumsum(a ** (-rel))
+                offsets = np.concatenate(([0.0], cs[seg_starts[1:] - 1]))
+                prefix = forward * (cs - np.repeat(offsets, t_counts))
+                traj_density = np.repeat(decayed, t_counts) * forward + prefix
+                crossed = traj_density >= self._thresholds_at(t_arr)
+                pos = np.where(crossed, np.arange(t_arr.size), t_arr.size)
+                first = np.minimum.reduceat(pos, seg_starts)
+                for r, f in zip(traj[first < seg_ends], first[first < seg_ends]):
+                    crossings[id_list[r]] = int(t_order[f])
+                density[t_slots] = traj_density[seg_ends - 1]
+        else:
+            elapsed = np.maximum(0.0, last_times - last_update[slots])
+            density[slots] = density[slots] * a ** (lam * elapsed) + increments
+
+        # Inactive single-absorption cells: vectorised threshold check.
+        if initialized:
+            watch = np.flatnonzero(~in_tree & (counts == 1))
+            if watch.size:
+                over = density[slots[watch]] >= self._thresholds_at(last_times[watch])
+                for r in watch[over]:
+                    crossings[id_list[r]] = int(order[starts[r]])
+
+        last_update[slots] = last_times
+        arena.last_absorb[slots] = last_times
+        arena.points_absorbed[slots] += counts
+
+        chunk_len = chunk_times.shape[0]
+        chunk_labels = labels[offset : offset + chunk_len]
+        if any(label is not None for label in chunk_labels):
+            self._tally_votes(chunk_labels, group_ids, slots, starts, counts, order)
+
+        dirty = [cid for cid, flag in zip(id_list, in_tree) if flag]
+        to_activate = sorted((crossing, cid) for cid, crossing in crossings.items())
         for _, cell_id in to_activate:
             cell = model.reservoir.pop(cell_id)
             model._inactive.remove(cell_id)
             cell.dependency = None
             cell.delta = math.inf
-            model.tree.insert(cell)
+            tree.insert(cell)
             model._active.add(cell)
             dirty.append(cell_id)
         return dirty
+
+    def _tally_votes(
+        self,
+        chunk_labels: List[Optional[int]],
+        group_ids: np.ndarray,
+        slots: np.ndarray,
+        starts: np.ndarray,
+        counts: np.ndarray,
+        order: np.ndarray,
+    ) -> None:
+        """Accumulate label votes for one chunk's absorptions.
+
+        Integer labels aggregate through one ``np.unique`` over encoded
+        (group, label) pairs — a handful of dictionary updates per chunk
+        instead of one per labelled point; non-integer labels fall back to
+        the per-point loop.
+        """
+        arena = self.model._cells
+        n = group_ids.shape[0]
+        # Fully labelled integer chunks (the common case) convert in one C
+        # pass; chunks with ``None`` holes get an explicit mask, and anything
+        # non-integer falls through to the per-point loop.
+        codes = np.asarray(chunk_labels)
+        has_label = None
+        if codes.dtype.kind in "iub":
+            codes = codes.astype(np.int64, copy=False)
+        else:
+            filled = np.asarray(
+                [-1 if label is None else label for label in chunk_labels]
+            )
+            if filled.dtype.kind in "iu":
+                codes = filled.astype(np.int64, copy=False)
+                has_label = np.asarray(
+                    [label is not None for label in chunk_labels], dtype=bool
+                )
+            else:
+                codes = None
+        if codes is not None:
+            picked = codes[order]
+            group_of = np.repeat(np.arange(n), counts)
+            if has_label is not None:
+                keep = has_label[order]
+                if not keep.any():
+                    return
+                group_of = group_of[keep]
+                picked = picked[keep]
+            low = int(picked.min())
+            span = int(picked.max()) - low + 1
+            if n * span >= np.iinfo(np.int64).max:  # pragma: no cover - huge labels
+                codes = None
+        if codes is not None:
+            combos, tallies = np.unique(group_of * span + (picked - low), return_counts=True)
+            for combo, tally in zip(combos.tolist(), tallies.tolist()):
+                group, label = divmod(combo, span)
+                label += low
+                votes = arena.label_votes_of(int(slots[group]))
+                votes[label] = votes.get(label, 0) + tally
+            return
+        votes_cache: List[Optional[Dict[int, int]]] = [None] * n
+        group_of = np.repeat(np.arange(n), counts)
+        for k, point in enumerate(order.tolist()):
+            label = chunk_labels[point]
+            if label is None:
+                continue
+            g = int(group_of[k])
+            votes = votes_cache[g]
+            if votes is None:
+                votes = arena.label_votes_of(int(slots[g]))
+                votes_cache[g] = votes
+            votes[label] = votes.get(label, 0) + 1
 
     def _thresholds_at(self, times: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`EDMStream.active_threshold` over several times."""
@@ -462,10 +662,15 @@ class BatchIngestor:
         size = len(store)
         if size == 0:
             return
-        ids = np.asarray(store.ids())
+        ids = store._ids_array()
         densities = store.densities_at(now, model.decay)
         deltas = store.deltas()
-        positions = np.asarray([store.position_of(cell_id) for cell_id in dirty])
+        position_of = store.position_of
+        positions = np.fromiter(
+            (position_of(cell_id) for cell_id in dirty),
+            dtype=np.int64,
+            count=len(dirty),
+        )
         matrix = store.cross_distances(positions)
         model.filter.stats.distance_computations += int(matrix.size - len(dirty))
 
@@ -478,21 +683,39 @@ class BatchIngestor:
 
         # Own dependencies of the dirty cells: exact canonical argmin over
         # dominators — nearest first, smallest cell id among exact ties
-        # (mirrors ``EDMStream._recompute_dependency``).
+        # (mirrors ``EDMStream._recompute_dependency``).  The tie-break is
+        # one whole-matrix select: among entries at the row minimum, take
+        # the smallest id.
+        id_max = np.iinfo(np.int64).max
         candidates = np.where(higher, matrix, np.inf)
         best_distance = np.min(candidates, axis=1)
-        for row, cell_id in enumerate(dirty):
-            cell = tree.get(cell_id)
-            if np.isinf(best_distance[row]):
-                dependency, delta = None, math.inf
-            else:
-                delta = float(best_distance[row])
-                tied = np.flatnonzero(candidates[row] == best_distance[row])
-                dependency = int(np.min(ids[tied]))
-            if dependency != cell.dependency or delta != cell.delta:
-                model.filter.stats.dependency_changes += 1
-            tree.set_dependency(cell_id, dependency, delta)
-            store.update_delta(cell_id, delta)
+        best_finite = np.isfinite(best_distance)
+        best_ids = np.min(
+            np.where(candidates == best_distance[:, None], ids[None, :], id_max),
+            axis=1,
+        )
+        # Whole-array write-back: dependency ids and distances go straight
+        # into the arena columns; only links whose parent actually moved need
+        # the per-cell children-set fix-up in the DP-Tree.
+        arena = model._cells
+        dirty_slots = store.slots()[positions]
+        new_dep = np.where(best_finite, best_ids, -1)
+        new_delta = best_distance
+        old_dep = arena.dep[dirty_slots]
+        old_delta = arena.delta[dirty_slots]
+        model.filter.stats.dependency_changes += int(
+            np.count_nonzero((new_dep != old_dep) | (new_delta != old_delta))
+        )
+        arena.dep[dirty_slots] = new_dep
+        arena.delta[dirty_slots] = new_delta
+        for row in np.flatnonzero(new_dep != old_dep):
+            old = int(old_dep[row])
+            new = int(new_dep[row])
+            tree.relink_parent(
+                dirty[row],
+                None if old == -1 else old,
+                None if new == -1 else new,
+            )
 
         # Other active cells: the dirty cells are the only possible new
         # entrants to their higher-density sets, so the canonical column
@@ -507,13 +730,35 @@ class BatchIngestor:
             improvable = entrant_distance <= deltas
             improvable &= np.isfinite(entrant_distance)
             improvable[positions] = False
-            for column in np.flatnonzero(improvable):
-                delta = float(entrant_distance[column])
-                tied = np.flatnonzero(entrants[:, column] == entrant_distance[column])
-                parent = int(np.min(dirty_ids[tied]))
-                cell_id = int(ids[column])
-                if not model._lex_improves(delta, parent, cell_id, float(deltas[column])):
-                    continue
-                tree.set_dependency(cell_id, parent, delta)
-                store.update_delta(cell_id, delta)
-                model.filter.stats.dependency_changes += 1
+            columns = np.flatnonzero(improvable)
+            if columns.size:
+                sub = entrants[:, columns]
+                parents = np.min(
+                    np.where(
+                        sub == entrant_distance[columns][None, :],
+                        dirty_ids[:, None],
+                        id_max,
+                    ),
+                    axis=0,
+                )
+                # Vectorised ``EDMStream._lex_improves``: strictly closer, or
+                # equally close with a smaller parent id than the current
+                # dependency (no current dependency loses every tie).
+                col_slots = store.slots()[columns]
+                col_delta = entrant_distance[columns]
+                cur_delta = deltas[columns]
+                cur_dep = arena.dep[col_slots]
+                improves = (col_delta < cur_delta) | (
+                    (col_delta == cur_delta) & ((cur_dep == -1) | (parents < cur_dep))
+                )
+                winners = np.flatnonzero(improves)
+                model.filter.stats.dependency_changes += int(winners.size)
+                arena.dep[col_slots[winners]] = parents[winners]
+                arena.delta[col_slots[winners]] = col_delta[winners]
+                for w in winners:
+                    old = int(cur_dep[w])
+                    tree.relink_parent(
+                        int(ids[columns[w]]),
+                        None if old == -1 else old,
+                        int(parents[w]),
+                    )

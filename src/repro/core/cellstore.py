@@ -1,17 +1,21 @@
-"""Vectorised cache over a set of cluster-cells.
+"""Population views over the structure-of-arrays cell backbone.
 
 EDMStream's per-point work — nearest-seed assignment and the (filtered)
 dependency update — touches every cell of one of the two populations
 (active cells in the DP-Tree, inactive cells in the outlier reservoir).
-Doing that with per-cell Python calls is prohibitively slow for streams of
-hundreds of thousands of points, so :class:`CellStore` keeps the seeds,
-densities, last-update times and dependent distances of a population in
-parallel ``numpy`` arrays and answers the bulk queries vectorised.
+:class:`CellStore` answers those bulk queries vectorised: it keeps a dense
+array of *slots* into a shared :class:`~repro.core.soa.CellArrays` arena
+and gathers the relevant columns (seeds, densities, timestamps, dependent
+distances) straight out of the arena's contiguous storage.
 
-The canonical state always lives on the :class:`~repro.core.cell.ClusterCell`
-objects; the store is a write-through cache.  For non-numeric data (token
-sets under the Jaccard metric) the store transparently falls back to pure
-Python loops over the same API.
+Since the SoA refactor the store holds no cell state of its own — the
+arena is canonical — so there is nothing to keep coherent: moving a cell
+between the active and inactive populations is pure position bookkeeping,
+and the historical write-through hooks (:meth:`CellStore.update_density`,
+:meth:`CellStore.update_delta`, :meth:`CellStore.sync`) are retained as
+no-ops for API compatibility.  For non-numeric data (token sets under the
+Jaccard metric) the store transparently falls back to pure Python loops
+over the same API.
 """
 
 from __future__ import annotations
@@ -22,48 +26,69 @@ import numpy as np
 
 from repro.core.cell import ClusterCell
 from repro.core.decay import DecayModel
+from repro.core.soa import DETACHED, MEMBER, CellArrays
 from repro.distance.metrics import pairwise_euclidean
 
 _INITIAL_CAPACITY = 64
 
 
 class CellStore:
-    """Append-friendly vectorised view over a population of cluster-cells."""
+    """A vectorised population view over a shared :class:`CellArrays` arena.
+
+    Parameters
+    ----------
+    numeric:
+        Whether seeds are numeric vectors (enables the matrix query paths).
+    metric:
+        Pairwise distance for non-numeric seeds; required when ``numeric``
+        is false.
+    arrays:
+        The backing arena.  When omitted the store creates a private one,
+        which is how standalone stores in tests behave; a model passes the
+        same arena to both of its stores so that activating or deactivating
+        a cell never copies cell state.
+    """
 
     #: Store size above which :meth:`nearest_many` with ``within`` switches
     #: to the norm-window pruned scan (class attribute so tests can lower it
     #: and exercise the pruned path on small streams).
     prune_threshold = 512
 
-    def __init__(self, numeric: bool = True, metric: Optional[Callable[[Any, Any], float]] = None) -> None:
+    def __init__(
+        self,
+        numeric: bool = True,
+        metric: Optional[Callable[[Any, Any], float]] = None,
+        arrays: Optional[CellArrays] = None,
+    ) -> None:
         if not numeric and metric is None:
             raise ValueError("a pairwise metric is required for non-numeric stores")
+        if arrays is None:
+            arrays = CellArrays(numeric=numeric)
+        elif arrays.numeric != numeric:
+            raise ValueError("store numeric flag does not match its backing arrays")
         self._numeric = numeric
         self._metric = metric
-        self._cells: Dict[int, ClusterCell] = {}
-        self._index: Dict[int, int] = {}
+        self._arrays = arrays
+        self._slots = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._pos: Dict[int, int] = {}
         self._ids: List[int] = []
-        self._dimension: Optional[int] = None
-        self._capacity = _INITIAL_CAPACITY
+        self._ids_cache: Optional[np.ndarray] = None
         self._size = 0
-        self._seeds: Optional[np.ndarray] = None
-        self._norms = np.zeros(self._capacity, dtype=float)
-        self._density = np.zeros(self._capacity, dtype=float)
-        self._last_update = np.zeros(self._capacity, dtype=float)
-        self._delta = np.full(self._capacity, np.inf, dtype=float)
 
     # ------------------------------------------------------------------ #
     # container protocol
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
+        """Number of cells in this population."""
         return self._size
 
     def __contains__(self, cell_id: int) -> bool:
-        return cell_id in self._index
+        """Whether a cell id belongs to this population."""
+        return cell_id in self._pos
 
     def cells(self) -> Iterable[ClusterCell]:
         """Iterate over the stored cells in insertion (array) order."""
-        return (self._cells[cid] for cid in self._ids)
+        return (self._arrays.view(cid) for cid in self._ids)
 
     def ids(self) -> List[int]:
         """Cell ids in array order (a copy)."""
@@ -71,100 +96,91 @@ class CellStore:
 
     def get(self, cell_id: int) -> ClusterCell:
         """Return a stored cell by id."""
-        return self._cells[cell_id]
+        if cell_id not in self._pos:
+            raise KeyError(f"cell {cell_id} not in store")
+        return self._arrays.view(cell_id)
 
     @property
     def numeric(self) -> bool:
         """Whether the store holds numeric seeds (and can vectorise queries)."""
         return self._numeric
 
+    @property
+    def arrays(self) -> CellArrays:
+        """The backing structure-of-arrays arena (shared, canonical state)."""
+        return self._arrays
+
+    def slots(self) -> np.ndarray:
+        """Arena slots of this population in array order (live, do not mutate)."""
+        return self._slots[: self._size]
+
+    def _ids_array(self) -> np.ndarray:
+        """Cell ids in array order as an int64 array (cached between changes)."""
+        if self._ids_cache is None:
+            self._ids_cache = np.asarray(self._ids, dtype=np.int64)
+        return self._ids_cache
+
     # ------------------------------------------------------------------ #
     # membership
     # ------------------------------------------------------------------ #
-    def _grow(self, minimum: int) -> None:
-        new_capacity = max(self._capacity * 2, minimum)
-        if self._numeric and self._seeds is not None:
-            seeds = np.zeros((new_capacity, self._seeds.shape[1]), dtype=float)
-            seeds[: self._size] = self._seeds[: self._size]
-            self._seeds = seeds
-        for name in ("_norms", "_density", "_last_update", "_delta"):
-            old = getattr(self, name)
-            new = np.full(new_capacity, np.inf if name == "_delta" else 0.0, dtype=float)
-            new[: self._size] = old[: self._size]
-            setattr(self, name, new)
-        self._capacity = new_capacity
-
     def add(self, cell: ClusterCell) -> None:
-        """Add a cell; raises ``KeyError`` if its id is already stored."""
-        if cell.cell_id in self._index:
-            raise KeyError(f"cell {cell.cell_id} already in store")
-        if self._size >= self._capacity:
-            self._grow(self._size + 1)
+        """Add a cell; raises ``KeyError`` if its id is already stored.
+
+        A cell backed by a different arena (e.g. a standalone cell in the
+        detached arena) is first adopted into this store's arena; the view
+        object keeps its identity, so ``store.get(cell.cell_id) is cell``.
+        """
+        cell_id = cell.cell_id
+        if cell_id in self._pos:
+            raise KeyError(f"cell {cell_id} already in store")
+        if cell._arrays is not self._arrays:
+            self._arrays.adopt(cell)
+        if self._size >= self._slots.shape[0]:
+            grown = np.empty(self._slots.shape[0] * 2, dtype=np.int64)
+            grown[: self._size] = self._slots[: self._size]
+            self._slots = grown
         position = self._size
-        if self._numeric:
-            seed = np.asarray(cell.seed, dtype=float)
-            if self._dimension is None:
-                self._dimension = seed.shape[0]
-                self._seeds = np.zeros((self._capacity, self._dimension), dtype=float)
-            elif seed.shape[0] != self._dimension:
-                raise ValueError(
-                    f"seed dimension {seed.shape[0]} does not match store dimension {self._dimension}"
-                )
-            if self._seeds.shape[0] < self._capacity:
-                grown = np.zeros((self._capacity, self._dimension), dtype=float)
-                grown[: self._size] = self._seeds[: self._size]
-                self._seeds = grown
-            self._seeds[position] = seed
-            self._norms[position] = np.einsum("i,i->", seed, seed)
-        self._cells[cell.cell_id] = cell
-        self._index[cell.cell_id] = position
-        self._ids.append(cell.cell_id)
-        self._density[position] = cell.density
-        self._last_update[position] = cell.last_update
-        self._delta[position] = cell.delta
+        self._slots[position] = cell._slot
+        self._pos[cell_id] = position
+        self._ids.append(cell_id)
+        self._ids_cache = None
+        self._arrays.status[cell._slot] = MEMBER
         self._size += 1
 
     def remove(self, cell_id: int) -> ClusterCell:
-        """Remove a cell by id (swap-with-last compaction); returns the cell."""
-        if cell_id not in self._index:
+        """Remove a cell by id (swap-with-last compaction); returns the cell.
+
+        The cell's arena slot is *not* released — the cell usually moves to
+        the other population.  Callers that are deleting the cell for good
+        release the slot through the arena afterwards.
+        """
+        if cell_id not in self._pos:
             raise KeyError(f"cell {cell_id} not in store")
-        position = self._index.pop(cell_id)
-        cell = self._cells.pop(cell_id)
+        position = self._pos.pop(cell_id)
+        slot = int(self._slots[position])
         last = self._size - 1
         if position != last:
             moved_id = self._ids[last]
             self._ids[position] = moved_id
-            self._index[moved_id] = position
-            self._density[position] = self._density[last]
-            self._last_update[position] = self._last_update[last]
-            self._delta[position] = self._delta[last]
-            if self._numeric and self._seeds is not None:
-                self._seeds[position] = self._seeds[last]
-                self._norms[position] = self._norms[last]
+            self._pos[moved_id] = position
+            self._slots[position] = self._slots[last]
         self._ids.pop()
+        self._ids_cache = None
         self._size -= 1
-        return cell
+        self._arrays.status[slot] = DETACHED
+        return self._arrays.view(cell_id)
 
     # ------------------------------------------------------------------ #
-    # write-through updates
+    # write-through compatibility no-ops
     # ------------------------------------------------------------------ #
     def update_density(self, cell_id: int, density: float, last_update: float) -> None:
-        """Mirror a cell's density/last-update change into the arrays."""
-        position = self._index[cell_id]
-        self._density[position] = density
-        self._last_update[position] = last_update
+        """No-op retained for API compatibility (the arena is canonical)."""
 
     def update_delta(self, cell_id: int, delta: float) -> None:
-        """Mirror a cell's dependent-distance change into the arrays."""
-        position = self._index[cell_id]
-        self._delta[position] = delta
+        """No-op retained for API compatibility (the arena is canonical)."""
 
     def sync(self, cell: ClusterCell) -> None:
-        """Mirror all cached fields of a cell into the arrays."""
-        position = self._index[cell.cell_id]
-        self._density[position] = cell.density
-        self._last_update[position] = cell.last_update
-        self._delta[position] = cell.delta
+        """No-op retained for API compatibility (the arena is canonical)."""
 
     # ------------------------------------------------------------------ #
     # bulk queries
@@ -173,42 +189,53 @@ class CellStore:
         """Timely densities of every stored cell at time ``now`` (array order)."""
         if self._size == 0:
             return np.empty(0, dtype=float)
-        elapsed = np.maximum(0.0, now - self._last_update[: self._size])
-        factor = decay.rate ** elapsed
-        return self._density[: self._size] * factor
+        slots = self._slots[: self._size]
+        elapsed = np.maximum(0.0, now - self._arrays.last_update[slots])
+        return self._arrays.density[slots] * decay.rate**elapsed
 
     def deltas(self) -> np.ndarray:
-        """Dependent distances of every stored cell (array order)."""
-        return self._delta[: self._size].copy()
+        """Dependent distances of every stored cell (array order; a copy)."""
+        return self._arrays.delta[self._slots[: self._size]]
+
+    def last_updates(self) -> np.ndarray:
+        """Last-update timestamps of every stored cell (array order; a copy)."""
+        return self._arrays.last_update[self._slots[: self._size]]
+
+    def raw_densities(self) -> np.ndarray:
+        """Stored (undecayed) densities of every cell (array order; a copy)."""
+        return self._arrays.density[self._slots[: self._size]]
 
     def seed_matrix(self) -> Optional[np.ndarray]:
         """A copy of the numeric seed matrix in array order.
 
         ``None`` for non-numeric stores; an empty ``(0, 0)`` matrix when no
-        cells are stored yet.  This is what snapshot publication freezes, so
-        the serving side never aliases the live arrays.
+        cells are stored yet.  This is what snapshot publication freezes —
+        the gather out of the arena is itself a fresh array, so the serving
+        side never aliases the live columns.
         """
         if not self._numeric:
             return None
-        if self._seeds is None or self._size == 0:
-            return np.empty((0, self._dimension or 0), dtype=float)
-        return self._seeds[: self._size].copy()
+        if self._arrays.seeds is None or self._size == 0:
+            return np.empty((0, self._arrays.dim or 0), dtype=self._arrays.seed_dtype)
+        return self._arrays.seeds[self._slots[: self._size]]
 
     def distances_to(self, point: Any) -> np.ndarray:
         """Distances from ``point`` to every stored seed (array order)."""
         if self._size == 0:
             return np.empty(0, dtype=float)
-        if self._numeric and self._seeds is not None:
-            query = np.asarray(point, dtype=float).reshape(1, -1)
-            return pairwise_euclidean(query, self._seeds[: self._size])[0]
+        slots = self._slots[: self._size]
+        if self._numeric and self._arrays.seeds is not None:
+            query = np.asarray(point, dtype=self._arrays.seed_dtype).reshape(1, -1)
+            return pairwise_euclidean(query, self._arrays.seeds[slots])[0]
         metric = self._metric
         return np.asarray(
-            [metric(point, self._cells[cid].seed) for cid in self._ids], dtype=float
+            [metric(point, self._arrays.seed_of(int(slot))) for slot in slots],
+            dtype=float,
         )
 
     def seed_distances(self, cell_id: int) -> np.ndarray:
         """Distances from one stored cell's seed to every stored seed."""
-        return self.distances_to(self._cells[cell_id].seed)
+        return self.distances_to(self.get(cell_id).seed)
 
     def distances_to_subset(self, point: Any, positions: np.ndarray) -> np.ndarray:
         """Distances from ``point`` to the seeds at the given array positions.
@@ -219,12 +246,13 @@ class CellStore:
         """
         if len(positions) == 0:
             return np.empty(0, dtype=float)
-        if self._numeric and self._seeds is not None:
-            query = np.asarray(point, dtype=float).reshape(1, -1)
-            return pairwise_euclidean(query, self._seeds[positions])[0]
+        slots = self._slots[np.asarray(positions, dtype=int)]
+        if self._numeric and self._arrays.seeds is not None:
+            query = np.asarray(point, dtype=self._arrays.seed_dtype).reshape(1, -1)
+            return pairwise_euclidean(query, self._arrays.seeds[slots])[0]
         metric = self._metric
         return np.asarray(
-            [metric(point, self._cells[self._ids[int(p)]].seed) for p in positions],
+            [metric(point, self._arrays.seed_of(int(slot))) for slot in slots],
             dtype=float,
         )
 
@@ -239,13 +267,14 @@ class CellStore:
         n = len(points)
         if n == 0 or self._size == 0:
             return np.empty((n, self._size), dtype=float)
-        if self._numeric and self._seeds is not None:
-            queries = np.asarray(points, dtype=float)
-            return pairwise_euclidean(queries, self._seeds[: self._size])
+        slots = self._slots[: self._size]
+        if self._numeric and self._arrays.seeds is not None:
+            queries = np.asarray(points, dtype=self._arrays.seed_dtype)
+            return pairwise_euclidean(queries, self._arrays.seeds[slots])
         metric = self._metric
+        seeds = [self._arrays.seed_of(int(slot)) for slot in slots]
         return np.asarray(
-            [[metric(point, self._cells[cid].seed) for cid in self._ids] for point in points],
-            dtype=float,
+            [[metric(point, seed) for seed in seeds] for point in points], dtype=float
         )
 
     def cross_distances(self, positions: np.ndarray) -> np.ndarray:
@@ -259,12 +288,14 @@ class CellStore:
         """
         if len(positions) == 0:
             return np.empty((0, self._size), dtype=float)
-        if self._numeric and self._seeds is not None:
+        slots = self._slots[: self._size]
+        if self._numeric and self._arrays.seeds is not None:
+            rows = self._slots[np.asarray(positions, dtype=int)]
             return pairwise_euclidean(
-                self._seeds[np.asarray(positions, dtype=int)], self._seeds[: self._size]
+                self._arrays.seeds[rows], self._arrays.seeds[slots]
             )
         return self.distances_to_many(
-            [self._cells[self._ids[int(p)]].seed for p in positions]
+            [self._arrays.seed_of(int(self._slots[int(p)])) for p in positions]
         )
 
     def nearest_many(
@@ -292,55 +323,13 @@ class CellStore:
         n = len(points)
         if n == 0 or self._size == 0:
             return None, None
-        if not (self._numeric and self._seeds is not None):
-            return self._merge_minima(
-                self.distances_to_many(points), np.asarray(self._ids), None, None
-            )
-        queries = np.asarray(points, dtype=float)
-        ids = np.asarray(self._ids)
-        if within is not None and self._size > self.prune_threshold:
-            return self._nearest_many_pruned(queries, ids, within)
-        block = max(1, 2_000_000 // max(1, 8 * n))
-        best = best_id = None
-        for start in range(0, self._size, block):
-            stop = min(self._size, start + block)
-            distances = pairwise_euclidean(queries, self._seeds[start:stop])
-            best, best_id = self._merge_minima(distances, ids[start:stop], best, best_id)
-        return best, best_id
-
-    def _nearest_many_pruned(
-        self, queries: np.ndarray, ids: np.ndarray, within: float
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Norm-windowed nearest query (see :meth:`nearest_many`).
-
-        Queries are processed in norm-sorted groups; each group only scans
-        the seeds whose norm falls inside the group's ``± within`` window
-        (padded by a relative epsilon so float rounding of the norms can
-        never exclude a seed that is genuinely within ``within``).
-        """
-        n = queries.shape[0]
-        seed_norm = np.sqrt(self._norms[: self._size])
-        seed_order = np.argsort(seed_norm, kind="stable")
-        seed_norm_sorted = seed_norm[seed_order]
-        query_norm = np.sqrt(np.einsum("ij,ij->i", queries, queries))
-        query_order = np.argsort(query_norm, kind="stable")
-        best = np.full(n, np.inf)
-        best_id = np.full(n, -1, dtype=np.int64)
-        for start in range(0, n, 64):
-            rows = query_order[start : start + 64]
-            low = float(query_norm[rows[0]])
-            high = float(query_norm[rows[-1]])
-            margin = within + 1e-9 * (high + within)
-            first = int(np.searchsorted(seed_norm_sorted, low - margin, side="left"))
-            last = int(np.searchsorted(seed_norm_sorted, high + margin, side="right"))
-            if first >= last:
-                continue
-            candidates = seed_order[first:last]
-            distances = pairwise_euclidean(queries[rows], self._seeds[candidates])
-            group_best, group_id = self._merge_minima(distances, ids[candidates], None, None)
-            best[rows] = group_best
-            best_id[rows] = group_id
-        return best, best_id
+        ids = self._ids_array()
+        if not (self._numeric and self._arrays.seeds is not None):
+            return _merge_minima(self.distances_to_many(points), ids, None, None)
+        queries = np.asarray(points, dtype=self._arrays.seed_dtype)
+        return nearest_over_slots(
+            self._arrays, self.slots(), ids, queries, within, self.prune_threshold
+        )
 
     @staticmethod
     def _merge_minima(
@@ -349,30 +338,8 @@ class CellStore:
         best: Optional[np.ndarray],
         best_id: Optional[np.ndarray],
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Fold one distance block into running per-row ``(min, min id)``.
-
-        Exact distance ties resolve to the smallest cell id, both inside a
-        block and across blocks — the canonical rule shared with
-        ``EDMStream._nearest_seed``.
-        """
-        positions = np.argmin(distances, axis=1)
-        rows = np.arange(distances.shape[0])
-        block_best = distances[rows, positions]
-        block_id = ids[positions]
-        tie_rows = np.flatnonzero(
-            np.count_nonzero(distances == block_best[:, None], axis=1) > 1
-        )
-        for row in tie_rows:
-            tied = np.flatnonzero(distances[row] == block_best[row])
-            block_id[row] = ids[tied].min()
-        if best is None:
-            return block_best, block_id
-        closer = block_best < best
-        tied = (block_best == best) & (block_id < best_id)
-        take = closer | tied
-        best[take] = block_best[take]
-        best_id[take] = block_id[take]
-        return best, best_id
+        """Fold one distance block into running per-row minima (module impl)."""
+        return _merge_minima(distances, ids, best, best_id)
 
     def nearest(self, point: Any) -> Optional[Tuple[int, float]]:
         """Nearest stored cell to ``point`` as ``(cell_id, distance)``."""
@@ -384,23 +351,137 @@ class CellStore:
 
     def position_of(self, cell_id: int) -> int:
         """Array position of a cell id (valid until the next add/remove)."""
-        return self._index[cell_id]
+        return self._pos[cell_id]
 
     def id_at(self, position: int) -> int:
         """Cell id stored at an array position."""
         return self._ids[position]
 
     def validate(self, decay: Optional[DecayModel] = None) -> None:
-        """Check cache coherence against the canonical cell objects (tests only)."""
-        assert self._size == len(self._ids) == len(self._index) == len(self._cells)
-        for cid, position in self._index.items():
-            cell = self._cells[cid]
-            assert self._ids[position] == cid
-            assert self._density[position] == cell.density, (
-                f"density cache stale for cell {cid}"
+        """Check position bookkeeping against the arena (tests only).
+
+        The ``decay`` parameter is accepted for backwards compatibility with
+        the write-through-cache era; there is no cached state left to check
+        against it.
+        """
+        assert self._size == len(self._ids) == len(self._pos)
+        for cell_id, position in self._pos.items():
+            assert self._ids[position] == cell_id
+            slot = int(self._slots[position])
+            assert self._arrays.slot_of(cell_id) == slot, (
+                f"store slot stale for cell {cell_id}"
             )
-            assert self._last_update[position] == cell.last_update
-            cached_delta = self._delta[position]
-            assert cached_delta == cell.delta or (
-                np.isinf(cached_delta) and np.isinf(cell.delta)
-            ), f"delta cache stale for cell {cid}"
+            assert int(self._arrays.cell_ids[slot]) == cell_id
+            assert self._arrays.status[slot] == MEMBER, (
+                f"cell {cell_id} tracked by a store but not marked MEMBER"
+            )
+        self._arrays.validate()
+
+
+def nearest_over_slots(
+    arrays: CellArrays,
+    slots: np.ndarray,
+    ids: np.ndarray,
+    queries: np.ndarray,
+    within: Optional[float] = None,
+    prune_threshold: int = 512,
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Per-query nearest seed over arbitrary arena ``slots`` (numeric only).
+
+    The arena-level core behind :meth:`CellStore.nearest_many`, usable over
+    any slot selection — in particular the *union* of the active and
+    inactive populations, which is how micro-batch assignment resolves both
+    stores with a single scan.  Ties resolve to the smallest cell id, the
+    canonical rule shared with ``EDMStream._nearest_seed``.
+
+    When ``within`` is given and the selection is larger than
+    ``prune_threshold``, the norm-windowed pruned scan is used: any result
+    at most ``within`` away is the exact global nearest (with exact
+    tie-breaking), while a result beyond ``within`` only promises that *no*
+    seed lies within ``within``.
+    """
+    size = int(slots.shape[0])
+    if size == 0 or queries.shape[0] == 0:
+        return None, None
+    seeds = arrays.seeds[slots]
+    if within is not None and size > prune_threshold:
+        return _nearest_pruned(arrays, slots, seeds, ids, queries, within)
+    block = max(1, 8_000_000 // max(1, 8 * queries.shape[0]))
+    best = best_id = None
+    for start in range(0, size, block):
+        stop = min(size, start + block)
+        distances = pairwise_euclidean(queries, seeds[start:stop])
+        best, best_id = _merge_minima(distances, ids[start:stop], best, best_id)
+    return best, best_id
+
+
+def _nearest_pruned(
+    arrays: CellArrays,
+    slots: np.ndarray,
+    seeds: np.ndarray,
+    ids: np.ndarray,
+    queries: np.ndarray,
+    within: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Norm-windowed nearest query (see :func:`nearest_over_slots`).
+
+    Queries are processed in norm-sorted groups; each group only scans the
+    seeds whose norm falls inside the group's ``± within`` window (padded by
+    a relative epsilon so float rounding of the norms can never exclude a
+    seed that is genuinely within ``within``).
+    """
+    n = queries.shape[0]
+    seed_norm = np.sqrt(arrays.seed_norm2[slots])
+    seed_order = np.argsort(seed_norm, kind="stable")
+    seed_norm_sorted = seed_norm[seed_order]
+    query_norm = np.sqrt(np.einsum("ij,ij->i", queries, queries, dtype=np.float64))
+    query_order = np.argsort(query_norm, kind="stable")
+    best = np.full(n, np.inf)
+    best_id = np.full(n, -1, dtype=np.int64)
+    for start in range(0, n, 64):
+        rows = query_order[start : start + 64]
+        low = float(query_norm[rows[0]])
+        high = float(query_norm[rows[-1]])
+        margin = within + 1e-9 * (high + within)
+        first = int(np.searchsorted(seed_norm_sorted, low - margin, side="left"))
+        last = int(np.searchsorted(seed_norm_sorted, high + margin, side="right"))
+        if first >= last:
+            continue
+        candidates = seed_order[first:last]
+        distances = pairwise_euclidean(queries[rows], seeds[candidates])
+        group_best, group_id = _merge_minima(distances, ids[candidates], None, None)
+        best[rows] = group_best
+        best_id[rows] = group_id
+    return best, best_id
+
+
+def _merge_minima(
+    distances: np.ndarray,
+    ids: np.ndarray,
+    best: Optional[np.ndarray],
+    best_id: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold one distance block into running per-row ``(min, min id)``.
+
+    Exact distance ties resolve to the smallest cell id, both inside a block
+    and across blocks — the canonical rule shared with
+    ``EDMStream._nearest_seed``.
+    """
+    positions = np.argmin(distances, axis=1)
+    rows = np.arange(distances.shape[0])
+    block_best = distances[rows, positions]
+    block_id = ids[positions]
+    tie_rows = np.flatnonzero(
+        np.count_nonzero(distances == block_best[:, None], axis=1) > 1
+    )
+    for row in tie_rows:
+        tied = np.flatnonzero(distances[row] == block_best[row])
+        block_id[row] = ids[tied].min()
+    if best is None:
+        return block_best, block_id
+    closer = block_best < best
+    tied = (block_best == best) & (block_id < best_id)
+    take = closer | tied
+    best[take] = block_best[take]
+    best_id[take] = block_id[take]
+    return best, best_id

@@ -66,6 +66,13 @@ class EDMStreamConfig:
     outlier_label:
         Label returned by ``predict_one`` for points not covered by any
         active cluster-cell.
+    dtype:
+        Seed-matrix dtype of the structure-of-arrays cell store:
+        ``"float64"`` (default; distances bit-identical to the scalar
+        reference path) or ``"float32"`` (half the memory traffic for the
+        distance kernels, at ~1e-7 relative distance error — see
+        ``docs/ARCHITECTURE.md``).  Densities, timestamps and dependent
+        distances stay float64 either way.
     """
 
     radius: float = 0.3
@@ -85,6 +92,7 @@ class EDMStreamConfig:
     delete_outdated: bool = True
     tau_reoptimize_interval: float = 1.0
     outlier_label: int = -1
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.radius <= 0:
@@ -115,6 +123,8 @@ class EDMStreamConfig:
             raise ValueError(
                 f"tau_reoptimize_interval must be positive, got {self.tau_reoptimize_interval}"
             )
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"dtype must be 'float32' or 'float64', got {self.dtype!r}")
 
     def validate_beta_range(self) -> None:
         """Check β against its admissible range ``(1 - a^λ)/v < β < 1`` (Section 4.3)."""

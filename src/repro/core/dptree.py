@@ -120,6 +120,22 @@ class DPTree:
         if dependency is not None:
             self._children.setdefault(dependency, set()).add(cell_id)
 
+    def relink_parent(
+        self, cell_id: int, old: Optional[int], new: Optional[int]
+    ) -> None:
+        """Fix the children sets after a bulk dependency write.
+
+        The batch ingestor updates ``dependency``/``delta`` for many cells at
+        once through whole-array writes on the cell arena; this repairs only
+        the reverse (parent -> children) pointers for one moved link.
+        """
+        if old is not None:
+            siblings = self._children.get(old)
+            if siblings is not None:
+                siblings.discard(cell_id)
+        if new is not None:
+            self._children.setdefault(new, set()).add(cell_id)
+
     def subtree_ids(self, cell_id: int) -> List[int]:
         """All cell ids in the subtree rooted at ``cell_id`` (inclusive)."""
         if cell_id not in self._cells:

@@ -41,6 +41,7 @@ from repro.core.dptree import DPTree
 from repro.core.evolution import EvolutionTracker
 from repro.core.filters import DependencyFilter, FilterStatistics
 from repro.core.reservoir import OutlierReservoir
+from repro.core.soa import CellArrays
 from repro.distance import get_metric
 
 
@@ -89,8 +90,19 @@ class EDMStream(StreamClusterer):
 
         self._numeric = config.metric not in ("jaccard",)
         self._metric = get_metric(config.metric)
-        self._active = CellStore(numeric=self._numeric, metric=self._metric)
-        self._inactive = CellStore(numeric=self._numeric, metric=self._metric)
+        # One structure-of-arrays arena holds every cell the model owns;
+        # the two stores are population views over it, so activation and
+        # deactivation move positions, never cell state.
+        self._cells = CellArrays(
+            numeric=self._numeric,
+            dtype=np.float32 if config.dtype == "float32" else np.float64,
+        )
+        self._active = CellStore(
+            numeric=self._numeric, metric=self._metric, arrays=self._cells
+        )
+        self._inactive = CellStore(
+            numeric=self._numeric, metric=self._metric, arrays=self._cells
+        )
 
         self._tau: Optional[float] = config.tau
         self._now: float = 0.0
@@ -470,8 +482,8 @@ class EDMStream(StreamClusterer):
         return best_id, best_distance, best_in_tree
 
     def _create_cell(self, point: Any, now: float, label: Optional[int]) -> int:
-        cell = ClusterCell(
-            seed=point,
+        cell = self._cells.create(
+            point,
             density=1.0,
             created_at=now,
             last_update=now,
@@ -486,7 +498,6 @@ class EDMStream(StreamClusterer):
     def _absorb_inactive(self, cell_id: int, now: float, label: Optional[int]) -> None:
         cell = self.reservoir.get(cell_id)
         cell.absorb(now, self.decay, label=label)
-        self._inactive.update_density(cell_id, cell.density, cell.last_update)
         if self._initialized and cell.density >= self.active_threshold(now):
             self._activate_cell(cell_id, now)
 
@@ -505,7 +516,6 @@ class EDMStream(StreamClusterer):
         rho_before = cell.density_at(now, self.decay)
         cell.absorb(now, self.decay, label=label)
         rho_after = cell.density
-        self._active.update_density(cell_id, cell.density, cell.last_update)
 
         if not self._initialized:
             return
@@ -538,7 +548,6 @@ class EDMStream(StreamClusterer):
         densities = self._active.densities_at(now, self.decay)
         if densities.size == 0:
             self.tree.set_dependency(cell.cell_id, None, math.inf)
-            self._active.update_delta(cell.cell_id, math.inf)
             return
         ids = np.asarray(self._active.ids())
         rho = cell.density_at(now, self.decay)
@@ -546,7 +555,6 @@ class EDMStream(StreamClusterer):
         higher &= ids != cell.cell_id
         if not np.any(higher):
             self.tree.set_dependency(cell.cell_id, None, math.inf)
-            self._active.update_delta(cell.cell_id, math.inf)
             return
         positions = np.flatnonzero(higher)
         distances = self._active.distances_to_subset(cell.seed, positions)
@@ -563,7 +571,6 @@ class EDMStream(StreamClusterer):
         if best_id != cell.dependency or best_distance != cell.delta:
             self.filter.stats.dependency_changes += 1
         self.tree.set_dependency(cell.cell_id, best_id, best_distance)
-        self._active.update_delta(cell.cell_id, best_distance)
 
     def _update_candidate_dependencies(
         self,
@@ -631,7 +638,6 @@ class EDMStream(StreamClusterer):
             if not self._lex_improves(distance, absorber.cell_id, candidate_id, deltas[position]):
                 continue
             self.tree.set_dependency(candidate_id, absorber.cell_id, distance)
-            self._active.update_delta(candidate_id, distance)
             self.filter.stats.dependency_changes += 1
 
     @staticmethod
@@ -697,7 +703,6 @@ class EDMStream(StreamClusterer):
             if not self._lex_improves(distance, new_cell.cell_id, candidate_id, deltas[position]):
                 continue
             self.tree.set_dependency(candidate_id, new_cell.cell_id, distance)
-            self._active.update_delta(candidate_id, distance)
             self.filter.stats.dependency_changes += 1
 
     def _deactivate_cells(self, cell_ids: Sequence[int], now: float) -> None:
@@ -706,14 +711,13 @@ class EDMStream(StreamClusterer):
         if not removal:
             return
         # Cells whose dependency is being removed but which themselves stay
-        # active need a fresh dependency afterwards.
-        orphans = [
-            cell.cell_id
-            for cell in self.tree.cells()
-            if cell.cell_id not in removal
-            and cell.dependency is not None
-            and cell.dependency in removal
-        ]
+        # active need a fresh dependency afterwards.  The dependency column
+        # of the arena answers this in one vectorised membership test.
+        ids = np.asarray(self._active.ids())
+        deps = self._cells.dep[self._active.slots()]
+        removal_ids = np.fromiter(removal, dtype=np.int64, count=len(removal))
+        orphan_mask = np.isin(deps, removal_ids) & ~np.isin(ids, removal_ids)
+        orphans = [int(cid) for cid in ids[orphan_mask]]
         for cell_id in removal:
             cell = self.tree.remove(cell_id)
             self._active.remove(cell_id)
@@ -793,15 +797,13 @@ class EDMStream(StreamClusterer):
         threshold = self.active_threshold(now)
         densities = self._active.densities_at(now, self.decay)
         ids = self._active.ids()
-        to_deactivate = [
-            ids[i] for i in range(len(ids)) if densities[i] < threshold
-        ]
+        to_deactivate = [ids[int(i)] for i in np.flatnonzero(densities < threshold)]
         # Never empty the tree completely: keep at least the densest cell so
         # that the clustering remains defined while the stream is sparse
         # (smallest id among exactly tied densities, canonically).
         if to_deactivate and len(to_deactivate) == len(ids):
             top = float(np.max(densities))
-            keep = min(ids[i] for i in np.flatnonzero(densities == top))
+            keep = min(ids[int(i)] for i in np.flatnonzero(densities == top))
             to_deactivate = [cid for cid in to_deactivate if cid != keep]
         started = _time.perf_counter()
         self._deactivate_cells(to_deactivate, now)
@@ -809,7 +811,11 @@ class EDMStream(StreamClusterer):
 
         removed = self.reservoir.prune_outdated(now)
         for cell in removed:
-            self._inactive.remove(cell.cell_id)
+            cell_id = cell.cell_id
+            self._inactive.remove(cell_id)
+            # The cell is gone for good: recycle its arena slot so
+            # steady-state ingestion allocates nothing new.
+            self._cells.release(cell_id)
         self.reservoir_size_history.append((now, len(self.reservoir)))
 
     def _tau_deltas(self, now: float) -> List[float]:
@@ -821,11 +827,17 @@ class EDMStream(StreamClusterer):
         density peak is assigned the maximum distance as its δ — each root
         contributes the distance to the farthest active seed instead.
         """
-        deltas = self.tree.deltas()
-        for cell in self.tree.cells():
-            if cell.dependency is not None and cell.dependency in self.tree:
-                continue
-            distances = self._active.seed_distances(cell.cell_id)
+        slots = self._active.slots()
+        if slots.size == 0:
+            return []
+        dep = self._cells.dep[slots]
+        delta = self._cells.delta[slots]
+        ids = np.asarray(self._active.ids(), dtype=np.int64)
+        linked = (dep != -1) & np.isfinite(delta)
+        deltas = delta[linked].tolist()
+        roots = (dep == -1) | ~np.isin(dep, ids)
+        for cell_id in ids[roots].tolist():
+            distances = self._active.seed_distances(cell_id)
             if distances.size > 1:
                 deltas.append(float(np.max(distances)))
         return deltas

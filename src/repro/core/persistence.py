@@ -148,7 +148,6 @@ def model_from_dict(data: Dict[str, Any]) -> EDMStream:
     for link in dependencies:
         if link["dependency"] is not None and link["dependency"] in model.tree:
             model.tree.set_dependency(link["cell_id"], link["dependency"], link["delta"])
-            model._active.update_delta(link["cell_id"], link["delta"])
 
     for cell_data in data["inactive_cells"]:
         cell = _decode_cell(cell_data, numeric)

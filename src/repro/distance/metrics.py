@@ -61,15 +61,27 @@ def pairwise_euclidean(queries: np.ndarray, seeds: np.ndarray) -> np.ndarray:
     * ``scipy.spatial.distance.cdist`` when scipy is available — a C kernel,
       by far the fastest;
     * otherwise a per-row ``np.einsum`` over the differences.
+
+    When *both* operands arrive as ``float32`` (the arena's reduced-precision
+    mode, see :class:`~repro.core.soa.CellArrays`), the einsum path is used
+    unconditionally with ``float32`` accumulation: ``cdist`` would silently
+    upcast to ``float64``, defeating the memory-bandwidth purpose of the
+    mode, and the single-precision result is what the float32 tolerance
+    contract in ``tests/test_soa.py`` is written against.
     """
-    if _cdist is not None:
+    single = (
+        getattr(queries, "dtype", None) == np.float32
+        and getattr(seeds, "dtype", None) == np.float32
+    )
+    if _cdist is not None and not single:
         return _cdist(queries, seeds)
-    queries = np.asarray(queries, dtype=float)
-    seeds = np.asarray(seeds, dtype=float)
-    out = np.empty((queries.shape[0], seeds.shape[0]), dtype=float)
+    dtype = np.float32 if single else np.float64
+    queries = np.asarray(queries, dtype=dtype)
+    seeds = np.asarray(seeds, dtype=dtype)
+    out = np.empty((queries.shape[0], seeds.shape[0]), dtype=dtype)
     for row in range(queries.shape[0]):
         diffs = seeds - queries[row]
-        out[row] = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        out[row] = np.sqrt(np.einsum("ij,ij->i", diffs, diffs, dtype=dtype))
     return out
 
 

@@ -1,0 +1,95 @@
+"""Read-only nearest-seed index over a live :class:`~repro.core.cellstore.CellStore`.
+
+The dictionary-backed indexes in this package own a private copy of every
+seed, which is redundant once the cells live in the structure-of-arrays
+arena: the store's slot array *is* an index into the shared seed matrix.
+:class:`ArenaIndex` adapts a :class:`~repro.core.cellstore.CellStore` to the
+:class:`~repro.index.base.SeedIndex` interface without copying anything —
+every query gathers straight out of the arena's contiguous columns, so the
+index is always exactly as fresh as the store it wraps.
+
+Because membership is owned by the store (cells enter and leave populations
+through the model, not through the index), the mutation half of the
+interface is intentionally unsupported.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.index.base import SeedIndex
+
+
+class ArenaIndex(SeedIndex):
+    """A zero-copy :class:`SeedIndex` view of one cell-store population.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.core.cellstore.CellStore` to serve queries from.
+        Keys are the store's cell ids; locations are the seed rows of the
+        shared arena.  The index reflects the store live — there is no
+        rebuild step and no per-insert bookkeeping.
+    """
+
+    def __init__(self, store: Any) -> None:
+        self._store = store
+
+    # ------------------------------------------------------------------ #
+    # mutation — owned by the store, not the index
+    # ------------------------------------------------------------------ #
+    def insert(self, key: Hashable, location: Any) -> None:
+        """Unsupported: membership is managed through the wrapped store."""
+        raise TypeError("ArenaIndex reflects a CellStore; add cells to the store")
+
+    def remove(self, key: Hashable) -> None:
+        """Unsupported: membership is managed through the wrapped store."""
+        raise TypeError("ArenaIndex reflects a CellStore; remove cells from the store")
+
+    # ------------------------------------------------------------------ #
+    # queries — gathered straight from the arena columns
+    # ------------------------------------------------------------------ #
+    def nearest(self, query: Any) -> Optional[Tuple[Hashable, float]]:
+        """Nearest stored seed as ``(cell_id, distance)``, or ``None``."""
+        result = self._store.nearest(query)
+        return None if result is None else (result[0], float(result[1]))
+
+    def nearest_many(
+        self, queries: Sequence[Any]
+    ) -> List[Optional[Tuple[Hashable, float]]]:
+        """Batch nearest query answered by one blocked arena scan."""
+        distances, ids = self._store.nearest_many(queries)
+        if distances is None:
+            return [None for _ in queries]
+        return [
+            (int(cell_id), float(distance))
+            for distance, cell_id in zip(distances, ids)
+        ]
+
+    def within(self, query: Any, radius: float) -> List[Tuple[Hashable, float]]:
+        """All ``(cell_id, distance)`` pairs within ``radius``, nearest first."""
+        distances = self._store.distances_to(query)
+        if distances.size == 0:
+            return []
+        hits = np.flatnonzero(distances <= radius)
+        results = [(self._store.id_at(int(i)), float(distances[i])) for i in hits]
+        results.sort(key=lambda item: item[1])
+        return results
+
+    def location(self, key: Hashable) -> Any:
+        """The stored seed of a cell id (a view into the arena)."""
+        return self._store.get(key).seed
+
+    def __len__(self) -> int:
+        """Number of cells in the wrapped population."""
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Whether a cell id belongs to the wrapped population."""
+        return key in self._store
+
+    def keys(self) -> Iterable[Hashable]:
+        """Cell ids of the wrapped population, in array order."""
+        return self._store.ids()

@@ -1,0 +1,205 @@
+"""Tests for the structure-of-arrays cell arena (free-list edge cases).
+
+Covers the contract documented in ``docs/ARCHITECTURE.md``: slot recycling
+after outlier deletion, capacity-growth boundaries, and the float32 seed
+mode's tolerance envelope against the exact float64 arena.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cell import ClusterCell
+from repro.core.cellstore import CellStore
+from repro.core.edmstream import EDMStream
+from repro.core.soa import DETACHED, FREE, MEMBER, CellArrays
+from repro.distance.metrics import pairwise_euclidean
+
+
+def seeded_arena(count, capacity=8):
+    """An arena with ``count`` live 2-d cells with ids 0..count-1."""
+    arena = CellArrays(numeric=True, capacity=capacity)
+    for i in range(count):
+        arena.allocate(i, (float(i), float(-i)), density=1.0 + i)
+    return arena
+
+
+class TestFreeListReuse:
+    def test_release_parks_slot_on_free_list(self):
+        arena = seeded_arena(3)
+        slot = arena.slot_of(1)
+        arena.release(1)
+        assert arena.n_free == 1
+        assert arena.status[slot] == FREE
+        assert arena.cell_ids[slot] == -1
+        assert 1 not in arena
+
+    def test_released_slot_is_reused_lifo(self):
+        arena = seeded_arena(3)
+        freed = [arena.slot_of(1), arena.slot_of(2)]
+        arena.release(1)
+        arena.release(2)
+        # LIFO: the most recently freed slot is claimed first.
+        assert arena.allocate(10, (10.0, 10.0)) == freed[1]
+        assert arena.allocate(11, (11.0, 11.0)) == freed[0]
+        assert arena.n_free == 0
+        assert arena.high_water == 3  # no new slots were touched
+
+    def test_reused_slot_carries_no_stale_state(self):
+        arena = seeded_arena(1)
+        arena.delta[arena.slot_of(0)] = 0.25
+        arena.dep[arena.slot_of(0)] = 7
+        arena.label_votes_of(arena.slot_of(0))[3] = 5
+        arena.release(0)
+        slot = arena.allocate(42, (9.0, 9.0))
+        assert arena.dep[slot] == -1
+        assert np.isinf(arena.delta[slot])
+        assert arena.label_votes_of(slot) == {}
+        np.testing.assert_allclose(arena.seeds[slot], [9.0, 9.0])
+
+    def test_release_invalidates_live_views(self):
+        arena = seeded_arena(2)
+        view = arena.view(0)
+        assert view.density == 1.0
+        arena.release(0)
+        assert view._arrays is None  # the thin view is detached, not dangling
+
+    def test_outlier_deletion_recycles_slots_in_model(self):
+        """End-to-end: reservoir pruning returns slots to the free-list."""
+        model = EDMStream(radius=0.5, beta=0.0021, stream_rate=100.0, init_size=100)
+        # Shrink the safe-deletion horizon so the short test stream is long
+        # enough for idle outlier cells to be pruned.
+        model.reservoir._deletion_interval = 0.5
+        rng = np.random.default_rng(3)
+        # A dense clump keeps some cells active; scattered one-off points
+        # become outlier cells that decay and get pruned.
+        for i in range(400):
+            if i % 4:
+                point = rng.normal(0.0, 0.1, size=2)
+            else:
+                point = rng.uniform(50.0, 200.0, size=2) * rng.choice([-1.0, 1.0], 2)
+            model.learn_one(tuple(point))
+        arena = model._cells
+        assert arena.n_free > 0, "expected pruned outliers to free slots"
+        # Every live population member must sit on a non-FREE slot.
+        for store in (model._active, model._inactive):
+            assert np.all(arena.status[store.slots()] == MEMBER)
+        arena.validate()
+
+
+class TestGrowthBoundaries:
+    def test_growth_preserves_all_columns(self):
+        arena = CellArrays(numeric=True, capacity=4)
+        for i in range(4):
+            arena.allocate(i, (float(i), 0.0), density=2.0 * i, delta=0.5 * i)
+        assert arena.capacity == 4
+        arena.allocate(4, (4.0, 0.0))  # crosses the boundary
+        assert arena.capacity == 8
+        for i in range(4):
+            slot = arena.slot_of(i)
+            assert arena.density[slot] == 2.0 * i
+            assert arena.delta[slot] == 0.5 * i
+            np.testing.assert_allclose(arena.seeds[slot], [float(i), 0.0])
+            np.testing.assert_allclose(arena.seed_norm2[slot], float(i) ** 2)
+        # Slots beyond the high-water mark are pristine.
+        assert np.all(arena.status[5:] == FREE)
+        assert np.all(arena.dep[5:] == -1)
+
+    def test_exact_boundary_allocation_does_not_grow(self):
+        arena = CellArrays(numeric=True, capacity=4)
+        for i in range(4):
+            arena.allocate(i, (float(i), 0.0))
+        assert arena.capacity == 4 and arena.high_water == 4
+
+    def test_free_list_absorbs_churn_without_growth(self):
+        arena = CellArrays(numeric=True, capacity=4)
+        for i in range(4):
+            arena.allocate(i, (float(i), 0.0))
+        for round_id in range(25):
+            victim = round_id % 4
+            arena.release(victim)
+            arena.allocate(100 + round_id, (1.0, 1.0))
+            arena.release(100 + round_id)
+            arena.allocate(victim, (2.0, 2.0))
+        assert arena.capacity == 4, "steady-state churn must not grow the arena"
+        arena.validate()
+
+    def test_store_growth_keeps_positions_coherent(self):
+        store = CellStore()
+        cells = [ClusterCell(seed=(float(i), float(i))) for i in range(130)]
+        for cell in cells:
+            store.add(cell)
+        for cell in cells[::3]:
+            store.remove(cell.cell_id)
+        store.validate()
+        remaining = [c.cell_id for c in cells if c.cell_id not in
+                     {x.cell_id for x in cells[::3]}]
+        assert sorted(store.ids()) == sorted(remaining)
+
+
+class TestFloat32Mode:
+    def test_config_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            EDMStream(radius=0.3, dtype="float16")
+
+    def test_float32_arena_stores_single_precision(self):
+        model = EDMStream(radius=0.3, dtype="float32", init_size=10)
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            model.learn_one(tuple(rng.normal(0.0, 0.1, size=2)))
+        assert model._cells.seeds.dtype == np.float32
+        snapshot = model.request_clustering()
+        assert snapshot.seeds is not None and snapshot.seeds.dtype == np.float32
+
+    def test_float32_kernel_stays_single_precision(self):
+        rng = np.random.default_rng(11)
+        queries = rng.normal(size=(8, 5)).astype(np.float32)
+        seeds = rng.normal(size=(16, 5)).astype(np.float32)
+        out = pairwise_euclidean(queries, seeds)
+        assert out.dtype == np.float32
+        exact = pairwise_euclidean(
+            queries.astype(np.float64), seeds.astype(np.float64)
+        )
+        np.testing.assert_allclose(out, exact, rtol=1e-5, atol=1e-6)
+
+    def test_float32_clustering_matches_float64_on_separated_data(self):
+        """Reduced precision may move distances ~1e-7 relative, which cannot
+        flip decisions when clusters are well separated."""
+        rng = np.random.default_rng(5)
+        centers = np.asarray([[0.0, 0.0], [5.0, 5.0], [-5.0, 5.0]])
+        points = [
+            tuple(centers[i % 3] + rng.normal(0.0, 0.2, size=2)) for i in range(600)
+        ]
+        exact = EDMStream(radius=0.5, beta=0.0021, stream_rate=1000.0)
+        single = EDMStream(radius=0.5, beta=0.0021, stream_rate=1000.0, dtype="float32")
+        for point in points:
+            exact.learn_one(point)
+            single.learn_one(point)
+        assert single.n_clusters == exact.n_clusters
+        assert single.n_active_cells == exact.n_active_cells
+        # Cell ids are drawn from a global counter, so match cells by seed.
+        def by_seed(model):
+            return {
+                tuple(np.round(np.asarray(cell.seed, dtype=np.float64), 4)): cell
+                for cell in model.tree.cells()
+            }
+
+        exact_cells = by_seed(exact)
+        single_cells = by_seed(single)
+        assert set(exact_cells) == set(single_cells)
+        for key, e in exact_cells.items():
+            s = single_cells[key]
+            assert s.density == pytest.approx(e.density, rel=1e-4)
+            if np.isfinite(e.delta):
+                assert s.delta == pytest.approx(e.delta, rel=1e-4, abs=1e-5)
+
+    def test_float32_batch_matches_float32_sequential(self):
+        """Batch≡sequential equivalence holds inside the float32 mode too."""
+        rng = np.random.default_rng(9)
+        points = [tuple(rng.normal(0.0, 1.0, size=3)) for _ in range(300)]
+        sequential = EDMStream(radius=0.8, stream_rate=500.0, dtype="float32")
+        batched = EDMStream(radius=0.8, stream_rate=500.0, dtype="float32")
+        for point in points:
+            sequential.learn_one(point)
+        batched.learn_many(points, batch_size=64)
+        assert batched.n_clusters == sequential.n_clusters
+        assert sorted(batched.tree.cell_ids()) == sorted(sequential.tree.cell_ids())
