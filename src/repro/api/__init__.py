@@ -19,6 +19,11 @@ from repro.api.snapshot import (
     ServingView,
     SnapshotPublisher,
 )
+from repro.api.transport import (
+    snapshot_from_buffers,
+    snapshot_to_buffers,
+    supports_buffer_transport,
+)
 
 __all__ = [
     "StreamClusterer",
@@ -27,4 +32,7 @@ __all__ = [
     "ServingView",
     "SnapshotPublisher",
     "as_stream_points",
+    "snapshot_to_buffers",
+    "snapshot_from_buffers",
+    "supports_buffer_transport",
 ]

@@ -37,7 +37,8 @@ builder an algorithm fills in to describe its current serving state.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import MISSING as _MISSING
+from dataclasses import dataclass, field, fields
 from types import MappingProxyType
 from typing import (
     Any,
@@ -96,6 +97,21 @@ class GridSpec:
         if self.divisions is not None:
             np.clip(scaled, 0, self.divisions - 1, out=scaled)
         return [tuple(int(v) for v in row) for row in scaled]
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support: the label table travels as a plain dict."""
+        return {
+            "width": self.width,
+            "labels": dict(self.labels),
+            "origin": self.origin,
+            "divisions": self.divisions,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        """Restore the frozen fields and re-wrap the label table read-only."""
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "labels", MappingProxyType(dict(state["labels"])))
 
 
 @dataclass
@@ -193,6 +209,54 @@ class ClusterSnapshot:
             freeze(self, "coverage", _frozen_array(self.coverage, float))
         freeze(self, "stable_ids", MappingProxyType(dict(self.stable_ids)))
         freeze(self, "metadata", MappingProxyType(dict(self.metadata)))
+
+    # ------------------------------------------------------------------ #
+    # cross-process transport
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support: mapping proxies travel as plain dicts."""
+        state = {f.name: getattr(self, f.name) for f in fields(self)}
+        state["stable_ids"] = dict(self.stable_ids)
+        state["metadata"] = dict(self.metadata)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        """Restore the frozen fields, re-freezing proxies and array flags."""
+        freeze = object.__setattr__
+        for name, value in state.items():
+            if isinstance(value, np.ndarray):
+                value.flags.writeable = False
+            freeze(self, name, value)
+        freeze(self, "stable_ids", MappingProxyType(dict(state["stable_ids"])))
+        freeze(self, "metadata", MappingProxyType(dict(state["metadata"])))
+
+    @classmethod
+    def _assemble(cls, **values: Any) -> "ClusterSnapshot":
+        """Construct a snapshot without the ``__post_init__`` defensive copies.
+
+        The serving tier's shared-memory hydration path
+        (:mod:`repro.api.transport`) rebuilds snapshots directly over
+        buffer-backed arrays; copying here would defeat the zero-copy
+        publication contract.  Every array handed in must therefore already
+        be read-only — this constructor enforces that instead of copying.
+        """
+        snapshot = object.__new__(cls)
+        freeze = object.__setattr__
+        for f in fields(cls):
+            if f.name in values:
+                value = values[f.name]
+            elif f.default is not _MISSING:
+                value = f.default
+            else:
+                value = f.default_factory()  # type: ignore[misc]
+            if isinstance(value, np.ndarray) and value.flags.writeable:
+                raise ValueError(
+                    f"_assemble requires read-only arrays; {f.name!r} is writable"
+                )
+            freeze(snapshot, f.name, value)
+        freeze(snapshot, "stable_ids", MappingProxyType(dict(snapshot.stable_ids or {})))
+        freeze(snapshot, "metadata", MappingProxyType(dict(snapshot.metadata or {})))
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # structure queries

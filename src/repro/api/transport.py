@@ -1,0 +1,146 @@
+"""Cross-process snapshot transport: raw-buffer hydration + pickle fallback.
+
+A :class:`~repro.api.snapshot.ClusterSnapshot` serves queries entirely off a
+handful of numpy arrays (seed matrix, labels, densities, per-seed coverage)
+plus a small amount of scalar/mapping state.  That split is what makes
+zero-copy publication possible: the arrays can live in a
+``multiprocessing.shared_memory`` segment mapped by every query worker,
+while the scalars travel in a compact pickled header.
+
+This module is the shared-memory-agnostic core of that contract:
+
+* :func:`snapshot_to_buffers` decomposes a numeric-seed snapshot into a
+  picklable **header** and named C-contiguous **arrays**;
+* :func:`snapshot_from_buffers` reassembles a snapshot *directly over* the
+  caller's buffers — ``copy=False`` (the default) performs **zero array
+  copies**, so a worker hydrating from shared memory serves
+  ``predict_many`` straight off the published pages.
+
+Snapshots with no numeric seed matrix — grid-mode snapshots (whose serving
+state is a label table keyed by grid tuples) and object-keyed snapshots
+(token sets under Jaccard) — cannot be expressed as raw buffers; they
+round-trip through plain pickle instead (:func:`supports_buffer_transport`
+tells the two apart, and ``ClusterSnapshot.__getstate__`` makes pickle work
+for every mode).  The serving tier (:mod:`repro.serving`) falls back to
+pickle transport for those automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.api.snapshot import ClusterSnapshot
+
+__all__ = [
+    "supports_buffer_transport",
+    "snapshot_to_buffers",
+    "snapshot_from_buffers",
+]
+
+#: Snapshot fields that may hold arrays eligible for raw-buffer transport.
+_ARRAY_FIELDS = ("seeds", "cell_ids", "labels", "densities", "coverage")
+
+#: Header format version, bumped on layout changes.
+_FORMAT = 1
+
+
+def supports_buffer_transport(snapshot: ClusterSnapshot) -> bool:
+    """Whether a snapshot can travel as raw buffers (numeric serving state).
+
+    Grid-mode snapshots and object-keyed snapshots (non-``None`` ``grid``,
+    ``seed_objects`` or ``metric``) have serving state that is not a numpy
+    array and must use pickle transport instead.
+    """
+    return (
+        snapshot.grid is None
+        and snapshot.seed_objects is None
+        and snapshot.metric is None
+    )
+
+
+def snapshot_to_buffers(
+    snapshot: ClusterSnapshot,
+) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Decompose a numeric snapshot into ``(header, named arrays)``.
+
+    The header is a small picklable dict (scalars, stable ids, metadata and
+    the dtype/shape of every array); the arrays are C-contiguous views or
+    copies of the snapshot's frozen arrays, ready to be written into any
+    buffer-providing transport.  Raises ``ValueError`` for snapshots that
+    need pickle transport (see :func:`supports_buffer_transport`).
+    """
+    if not supports_buffer_transport(snapshot):
+        raise ValueError(
+            "snapshot has non-numeric serving state (grid or seed objects); "
+            "use pickle transport instead"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    for name in _ARRAY_FIELDS:
+        value = getattr(snapshot, name)
+        if isinstance(value, np.ndarray):
+            arrays[name] = np.ascontiguousarray(value)
+    header = {
+        "format": _FORMAT,
+        "version": snapshot.version,
+        "time": snapshot.time,
+        "n_points": snapshot.n_points,
+        "algorithm": snapshot.algorithm,
+        "outlier_label": snapshot.outlier_label,
+        "tau": snapshot.tau,
+        "coverage_scalar": (
+            None
+            if isinstance(snapshot.coverage, np.ndarray)
+            else float(snapshot.coverage)
+        ),
+        "stable_ids": dict(snapshot.stable_ids),
+        "metadata": dict(snapshot.metadata),
+        "arrays": {
+            name: (str(array.dtype), tuple(array.shape))
+            for name, array in arrays.items()
+        },
+    }
+    return header, arrays
+
+
+def snapshot_from_buffers(
+    header: Mapping[str, Any],
+    buffers: Mapping[str, Any],
+    copy: bool = False,
+) -> ClusterSnapshot:
+    """Reassemble a snapshot from a header and named array buffers.
+
+    ``buffers`` maps each array name from ``header["arrays"]`` to any
+    buffer-protocol object (a ``memoryview`` into shared memory, ``bytes``,
+    an ndarray, …).  With ``copy=False`` the returned snapshot's arrays are
+    read-only views **into those buffers** — no element is copied, and the
+    caller is responsible for keeping the backing memory alive as long as
+    the snapshot is in use.  ``copy=True`` detaches the snapshot from the
+    buffers at the cost of one copy per array.
+    """
+    if header.get("format") != _FORMAT:
+        raise ValueError(f"unsupported snapshot buffer format: {header.get('format')!r}")
+    arrays: Dict[str, np.ndarray] = {}
+    for name, (dtype, shape) in header["arrays"].items():
+        flat = np.frombuffer(buffers[name], dtype=np.dtype(dtype))
+        array = flat.reshape(shape)
+        if copy:
+            array = array.copy()
+        array.flags.writeable = False
+        arrays[name] = array
+    coverage = arrays.pop("coverage", None)
+    if coverage is None:
+        coverage = header["coverage_scalar"]
+    return ClusterSnapshot._assemble(
+        version=header["version"],
+        time=header["time"],
+        n_points=header["n_points"],
+        algorithm=header["algorithm"],
+        outlier_label=header["outlier_label"],
+        tau=header["tau"],
+        coverage=coverage,
+        stable_ids=header["stable_ids"],
+        metadata=header["metadata"],
+        **arrays,
+    )

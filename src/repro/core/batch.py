@@ -273,7 +273,7 @@ class BatchIngestor:
                 store_best = store_best_id = None
             else:
                 ids = np.concatenate(
-                    (model._active._ids_array(), model._inactive._ids_array())
+                    (model._active.ids_array(), model._inactive.ids_array())
                 )
                 queries = np.asarray(chunk_values, dtype=arena.seed_dtype)
                 store_best, store_best_id = nearest_over_slots(
@@ -662,7 +662,7 @@ class BatchIngestor:
         size = len(store)
         if size == 0:
             return
-        ids = store._ids_array()
+        ids = store.ids_array()
         densities = store.densities_at(now, model.decay)
         deltas = store.deltas()
         position_of = store.position_of

@@ -73,6 +73,7 @@ class CellStore:
         self._pos: Dict[int, int] = {}
         self._ids: List[int] = []
         self._ids_cache: Optional[np.ndarray] = None
+        self._seed_cache: Optional[np.ndarray] = None
         self._size = 0
 
     # ------------------------------------------------------------------ #
@@ -114,11 +115,39 @@ class CellStore:
         """Arena slots of this population in array order (live, do not mutate)."""
         return self._slots[: self._size]
 
-    def _ids_array(self) -> np.ndarray:
-        """Cell ids in array order as an int64 array (cached between changes)."""
+    def ids_array(self) -> np.ndarray:
+        """Cell ids in array order as an int64 array (cached between changes).
+
+        The cache is invalidated by :meth:`add` / :meth:`remove`, so between
+        membership changes — i.e. across the thousands of absorbs a stable
+        population sees — repeated callers share one array instead of
+        re-converting the id list per point.  Treat the result as read-only.
+        """
         if self._ids_cache is None:
             self._ids_cache = np.asarray(self._ids, dtype=np.int64)
         return self._ids_cache
+
+    # Backwards-compatible private alias (pre-dates the public cache).
+    _ids_array = ids_array
+
+    def seed_view(self) -> Optional[np.ndarray]:
+        """The population's seed matrix in array order (cached, read-only).
+
+        Seeds are written only when a cell is allocated or adopted — never
+        while it sits in a store — so the gather out of the arena is a pure
+        function of the membership and can be cached until the next
+        :meth:`add` / :meth:`remove`.  This is the sequential ingestion
+        path's hottest access: caching it turns the per-point
+        ``seeds[slots]`` fancy-gather in :meth:`distances_to` into a reuse
+        of one contiguous matrix.  ``None`` for non-numeric stores.
+        """
+        if not self._numeric or self._arrays.seeds is None:
+            return None
+        if self._seed_cache is None or self._seed_cache.shape[0] != self._size:
+            gathered = self._arrays.seeds[self._slots[: self._size]]
+            gathered.flags.writeable = False
+            self._seed_cache = gathered
+        return self._seed_cache
 
     # ------------------------------------------------------------------ #
     # membership
@@ -144,6 +173,7 @@ class CellStore:
         self._pos[cell_id] = position
         self._ids.append(cell_id)
         self._ids_cache = None
+        self._seed_cache = None
         self._arrays.status[cell._slot] = MEMBER
         self._size += 1
 
@@ -166,6 +196,7 @@ class CellStore:
             self._slots[position] = self._slots[last]
         self._ids.pop()
         self._ids_cache = None
+        self._seed_cache = None
         self._size -= 1
         self._arrays.status[slot] = DETACHED
         return self._arrays.view(cell_id)
@@ -217,19 +248,21 @@ class CellStore:
             return None
         if self._arrays.seeds is None or self._size == 0:
             return np.empty((0, self._arrays.dim or 0), dtype=self._arrays.seed_dtype)
-        return self._arrays.seeds[self._slots[: self._size]]
+        return self.seed_view()
 
     def distances_to(self, point: Any) -> np.ndarray:
         """Distances from ``point`` to every stored seed (array order)."""
         if self._size == 0:
             return np.empty(0, dtype=float)
-        slots = self._slots[: self._size]
         if self._numeric and self._arrays.seeds is not None:
             query = np.asarray(point, dtype=self._arrays.seed_dtype).reshape(1, -1)
-            return pairwise_euclidean(query, self._arrays.seeds[slots])[0]
+            return pairwise_euclidean(query, self.seed_view())[0]
         metric = self._metric
         return np.asarray(
-            [metric(point, self._arrays.seed_of(int(slot))) for slot in slots],
+            [
+                metric(point, self._arrays.seed_of(int(slot)))
+                for slot in self._slots[: self._size]
+            ],
             dtype=float,
         )
 
@@ -246,10 +279,11 @@ class CellStore:
         """
         if len(positions) == 0:
             return np.empty(0, dtype=float)
-        slots = self._slots[np.asarray(positions, dtype=int)]
         if self._numeric and self._arrays.seeds is not None:
             query = np.asarray(point, dtype=self._arrays.seed_dtype).reshape(1, -1)
-            return pairwise_euclidean(query, self._arrays.seeds[slots])[0]
+            rows = self.seed_view()[np.asarray(positions, dtype=int)]
+            return pairwise_euclidean(query, rows)[0]
+        slots = self._slots[np.asarray(positions, dtype=int)]
         metric = self._metric
         return np.asarray(
             [metric(point, self._arrays.seed_of(int(slot))) for slot in slots],
@@ -267,12 +301,11 @@ class CellStore:
         n = len(points)
         if n == 0 or self._size == 0:
             return np.empty((n, self._size), dtype=float)
-        slots = self._slots[: self._size]
         if self._numeric and self._arrays.seeds is not None:
             queries = np.asarray(points, dtype=self._arrays.seed_dtype)
-            return pairwise_euclidean(queries, self._arrays.seeds[slots])
+            return pairwise_euclidean(queries, self.seed_view())
         metric = self._metric
-        seeds = [self._arrays.seed_of(int(slot)) for slot in slots]
+        seeds = [self._arrays.seed_of(int(slot)) for slot in self._slots[: self._size]]
         return np.asarray(
             [[metric(point, seed) for seed in seeds] for point in points], dtype=float
         )
@@ -288,11 +321,10 @@ class CellStore:
         """
         if len(positions) == 0:
             return np.empty((0, self._size), dtype=float)
-        slots = self._slots[: self._size]
         if self._numeric and self._arrays.seeds is not None:
-            rows = self._slots[np.asarray(positions, dtype=int)]
+            seeds = self.seed_view()
             return pairwise_euclidean(
-                self._arrays.seeds[rows], self._arrays.seeds[slots]
+                seeds[np.asarray(positions, dtype=int)], seeds
             )
         return self.distances_to_many(
             [self._arrays.seed_of(int(self._slots[int(p)])) for p in positions]
@@ -323,12 +355,18 @@ class CellStore:
         n = len(points)
         if n == 0 or self._size == 0:
             return None, None
-        ids = self._ids_array()
+        ids = self.ids_array()
         if not (self._numeric and self._arrays.seeds is not None):
             return _merge_minima(self.distances_to_many(points), ids, None, None)
         queries = np.asarray(points, dtype=self._arrays.seed_dtype)
         return nearest_over_slots(
-            self._arrays, self.slots(), ids, queries, within, self.prune_threshold
+            self._arrays,
+            self.slots(),
+            ids,
+            queries,
+            within,
+            self.prune_threshold,
+            seeds=self.seed_view(),
         )
 
     @staticmethod
@@ -385,6 +423,7 @@ def nearest_over_slots(
     queries: np.ndarray,
     within: Optional[float] = None,
     prune_threshold: int = 512,
+    seeds: Optional[np.ndarray] = None,
 ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
     """Per-query nearest seed over arbitrary arena ``slots`` (numeric only).
 
@@ -399,11 +438,16 @@ def nearest_over_slots(
     at most ``within`` away is the exact global nearest (with exact
     tie-breaking), while a result beyond ``within`` only promises that *no*
     seed lies within ``within``.
+
+    ``seeds`` optionally supplies the already-gathered ``(size, dim)`` seed
+    matrix for ``slots`` (e.g. :meth:`CellStore.seed_view`), skipping the
+    arena gather entirely.
     """
     size = int(slots.shape[0])
     if size == 0 or queries.shape[0] == 0:
         return None, None
-    seeds = arrays.seeds[slots]
+    if seeds is None:
+        seeds = arrays.seeds[slots]
     if within is not None and size > prune_threshold:
         return _nearest_pruned(arrays, slots, seeds, ids, queries, within)
     block = max(1, 8_000_000 // max(1, 8 * queries.shape[0]))

@@ -549,7 +549,7 @@ class EDMStream(StreamClusterer):
         if densities.size == 0:
             self.tree.set_dependency(cell.cell_id, None, math.inf)
             return
-        ids = np.asarray(self._active.ids())
+        ids = self._active.ids_array()
         rho = cell.density_at(now, self.decay)
         higher = (densities > rho) | ((densities == rho) & (ids < cell.cell_id))
         higher &= ids != cell.cell_id
@@ -590,7 +590,7 @@ class EDMStream(StreamClusterer):
         size = len(self._active)
         if size <= 1:
             return
-        ids = np.asarray(self._active.ids())
+        ids = self._active.ids_array()
         densities = self._active.densities_at(now, self.decay)
         deltas = self._active.deltas()
         absorber_position = self._active.position_of(absorber.cell_id)
@@ -686,7 +686,7 @@ class EDMStream(StreamClusterer):
         size = len(self._active)
         if size <= 1:
             return
-        ids = np.asarray(self._active.ids())
+        ids = self._active.ids_array()
         densities = self._active.densities_at(now, self.decay)
         deltas = self._active.deltas()
         rho_new = new_cell.density
@@ -713,7 +713,7 @@ class EDMStream(StreamClusterer):
         # Cells whose dependency is being removed but which themselves stay
         # active need a fresh dependency afterwards.  The dependency column
         # of the arena answers this in one vectorised membership test.
-        ids = np.asarray(self._active.ids())
+        ids = self._active.ids_array()
         deps = self._cells.dep[self._active.slots()]
         removal_ids = np.fromiter(removal, dtype=np.int64, count=len(removal))
         orphan_mask = np.isin(deps, removal_ids) & ~np.isin(ids, removal_ids)
@@ -832,7 +832,7 @@ class EDMStream(StreamClusterer):
             return []
         dep = self._cells.dep[slots]
         delta = self._cells.delta[slots]
-        ids = np.asarray(self._active.ids(), dtype=np.int64)
+        ids = self._active.ids_array()
         linked = (dep != -1) & np.isfinite(delta)
         deltas = delta[linked].tolist()
         roots = (dep == -1) | ~np.isin(dep, ids)

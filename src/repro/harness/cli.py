@@ -50,6 +50,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         "Serving extension — snapshot predict_many vs per-point query loop",
         lambda points: experiments.experiment_query_throughput(n_points=points or 16000),
     ),
+    "serve": (
+        "Serving tier — shared-memory snapshot fan-out QPS/latency vs workers",
+        lambda points: experiments.experiment_serving(n_points=points or 4000),
+    ),
     "fig11": (
         "Figure 11 — dependency-update filtering ablation",
         lambda points: experiments.experiment_filtering(n_points=points or 20000),

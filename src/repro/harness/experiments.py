@@ -453,6 +453,155 @@ def experiment_query_throughput(
     return result
 
 
+# --------------------------------------------------------------------- #
+# Serving tier — shared-memory snapshot fan-out across query workers
+# --------------------------------------------------------------------- #
+def experiment_serving(
+    n_points: int = 4000,
+    worker_counts: Sequence[int] = (1, 4, 8),
+    measure_s: float = 2.0,
+    warmup_s: float = 0.5,
+    query_batch: int = 256,
+    latency_queries: int = 200,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Serving tier: sustained QPS and latency of the shared-memory fan-out.
+
+    For each worker count a full :class:`~repro.serving.ServingCluster` is
+    stood up — one ingest process looping the SDS stream through a live
+    ``EDMStream`` and publishing every snapshot into shared memory, plus N
+    query workers serving ``predict_many`` off the mapped arrays.  Three
+    quantities are measured *while ingestion keeps running*:
+
+    * **sustained QPS** — pipelined batch dispatch with exactly one
+      outstanding request per worker (the throughput ceiling of the pipe
+      transport: workers never idle waiting for the dispatcher);
+    * **per-call latency (p50/p99)** — individual ``predict`` calls issued
+      through the asyncio :class:`~repro.serving.MicroBatchFrontend` over a
+      :class:`~repro.serving.WorkerPoolBackend` at modest concurrency, i.e.
+      what a single interactive caller observes including coalescing delay;
+    * **snapshot staleness** — per-answer age of the served snapshot, as
+      reported by the worker alongside each reply.
+
+    Workers deliberately run at lower scheduling priority than the ingest
+    process (``nice`` +9), so on a saturated box added workers trade query
+    throughput against each other, not against ingestion.  Emitted to
+    ``BENCH_serving.json`` by ``benchmarks/bench_serving.py``, which gates
+    the 4-worker/1-worker scaling ratio and segment hygiene.
+    """
+    import asyncio as _asyncio
+    import time as _time
+    from multiprocessing.connection import wait as _conn_wait
+
+    from repro.serving import (
+        MicroBatchFrontend,
+        ServingCluster,
+        WorkerPoolBackend,
+        list_segments,
+    )
+
+    result = ExperimentResult(
+        experiment_id="serving",
+        description="Shared-memory snapshot fan-out: QPS/latency vs query workers",
+    )
+
+    def model_factory():
+        return EDMStream(radius=0.3, beta=0.0021, stream_rate=1000.0)
+
+    def stream_factory():
+        return SDSGenerator(n_points=n_points, rate=1000.0, seed=seed).generate()
+
+    query_stream = SDSGenerator(n_points=query_batch, rate=1000.0, seed=seed + 2)
+    queries = np.asarray([p.values for p in query_stream.generate()])
+
+    def pipelined_qps(cluster):
+        """One outstanding batch per worker; count replies in the window."""
+        connections = list(cluster.connections)
+        for conn in connections:
+            conn.send(("predict", queries, False))
+        answered = 0
+        staleness: List[float] = []
+        measure_from = _time.perf_counter() + warmup_s
+        deadline = measure_from + measure_s
+        while _time.perf_counter() < deadline:
+            for conn in _conn_wait(connections, timeout=0.2):
+                reply = conn.recv()
+                if reply[0] == "ok" and _time.perf_counter() >= measure_from:
+                    answered += len(reply[1])
+                    staleness.append(float(reply[3]))
+                conn.send(("predict", queries, False))
+        for conn in connections:  # drain the in-flight tail, uncounted
+            if conn.poll(10.0):
+                conn.recv()
+        return answered / measure_s, staleness
+
+    async def frontend_latency(cluster):
+        backend = WorkerPoolBackend(cluster.connections)
+        front = MicroBatchFrontend(backend, max_batch=32, max_delay=0.002)
+        gate = _asyncio.Semaphore(8)
+        latencies: List[float] = []
+
+        async def one(point):
+            async with gate:
+                started = _time.perf_counter()
+                await front.predict(point)
+                latencies.append(_time.perf_counter() - started)
+
+        await _asyncio.gather(
+            *(one(queries[i % len(queries)]) for i in range(latency_queries))
+        )
+        await front.drain()
+        return latencies
+
+    rows = []
+    for n_workers in worker_counts:
+        with ServingCluster(
+            model_factory, stream_factory, n_workers=n_workers, chunk_size=256
+        ) as cluster:
+            cluster.wait_until_serving(timeout_s=60.0)
+            qps, staleness = pipelined_qps(cluster)
+            latencies = _asyncio.run(frontend_latency(cluster))
+            summary = cluster.summary()
+            token = cluster.token
+        latencies_ms = sorted(1000.0 * value for value in latencies)
+        rows.append(
+            {
+                "workers": n_workers,
+                "qps": round(qps, 1),
+                "p50_ms": round(latencies_ms[len(latencies_ms) // 2], 3),
+                "p99_ms": round(latencies_ms[int(0.99 * (len(latencies_ms) - 1))], 3),
+                "staleness_p50_s": (
+                    round(float(np.median(staleness)), 4) if staleness else None
+                ),
+                "staleness_max_s": round(max(staleness), 4) if staleness else None,
+                "points_ingested": summary["points_ingested"],
+                "snapshot_version": max(
+                    w.get("snapshot_version", 0) for w in summary["workers"]
+                ),
+                "leaked_segments": len(list_segments(token)),
+            }
+        )
+
+    baseline = next((row["qps"] for row in rows if row["workers"] == 1), None)
+    for row in rows:
+        row["scaling_vs_1w"] = round(row["qps"] / baseline, 2) if baseline else None
+    result.add_table("summary", rows)
+    result.add_series(
+        "qps",
+        SeriesResult(
+            name="sustained QPS under ingestion",
+            x=[row["workers"] for row in rows],
+            y=[row["qps"] for row in rows],
+            x_label="query workers",
+            y_label="queries per second",
+        ),
+    )
+    result.metadata["n_points"] = n_points
+    result.metadata["query_batch"] = query_batch
+    result.metadata["measure_s"] = measure_s
+    return result
+
+
 def _speedup_table(
     rows: List[Dict[str, Any]], value_key: str, invert: bool
 ) -> List[Dict[str, Any]]:

@@ -1,0 +1,54 @@
+"""Multi-process snapshot serving for stream clusterers.
+
+The serving tier turns the ingest/serve split of :mod:`repro.api` into a
+running system: **one ingest process** owns the live model and publishes
+every :class:`~repro.api.ClusterSnapshot` zero-copy into
+``multiprocessing.shared_memory`` segments, and **N query workers** attach
+those segments and answer ``predict_many`` straight off the shared arrays —
+no copies of the seed matrix, no locks on the live model.
+
+* :mod:`repro.serving.shm` — the shared-memory publication contract: a
+  seqlock **control block** naming the current data segment, immutable
+  per-publication **data segments** (pickled header + raw array buffers),
+  :class:`~repro.serving.shm.SnapshotReader` for attach/handshake, and
+  segment cleanup helpers.
+* :mod:`repro.serving.publisher` — :class:`ShmSnapshotPublisher`
+  (swap-on-publish over the control block, with counters) and the ingest
+  process body :func:`run_ingest_publisher`.
+* :mod:`repro.serving.worker` — the query-worker process body: attach,
+  validate the version handshake, serve query batches, expose counters.
+* :mod:`repro.serving.frontend` — :class:`MicroBatchFrontend`, the asyncio
+  front that coalesces individual ``predict`` calls into ``predict_many``
+  micro-batches (max-batch / max-delay).
+* :mod:`repro.serving.cluster` — :class:`ServingCluster`, the lifecycle
+  manager: spawn publisher + workers, health-check, drain, and segment
+  cleanup on shutdown or publisher crash.
+
+See the "Serving tier" section of ``docs/ARCHITECTURE.md`` for the process
+diagram, the shared-memory layout contract, and staleness semantics.
+"""
+
+from repro.serving.cluster import ServingCluster
+from repro.serving.frontend import MicroBatchFrontend, SnapshotBackend, WorkerPoolBackend
+from repro.serving.publisher import ShmSnapshotPublisher, run_ingest_publisher
+from repro.serving.shm import (
+    HydratedSnapshot,
+    SnapshotReader,
+    cleanup_segments,
+    list_segments,
+)
+from repro.serving.worker import run_worker
+
+__all__ = [
+    "ServingCluster",
+    "MicroBatchFrontend",
+    "SnapshotBackend",
+    "WorkerPoolBackend",
+    "ShmSnapshotPublisher",
+    "run_ingest_publisher",
+    "SnapshotReader",
+    "HydratedSnapshot",
+    "cleanup_segments",
+    "list_segments",
+    "run_worker",
+]

@@ -1,0 +1,241 @@
+"""Lifecycle management for a serving deployment: spawn, watch, clean up.
+
+:class:`ServingCluster` runs the whole topology in one call: an **ingest
+process** (:func:`~repro.serving.publisher.run_ingest_publisher`) that owns
+the live model and publishes snapshots, and **N query workers**
+(:func:`~repro.serving.worker.run_worker`) attached over duplex pipes.  It
+is also the process that answers for crash hygiene: on shutdown — and when
+the health check notices the publisher died — every shared-memory segment
+belonging to the cluster's token is unlinked, so nothing leaks into
+``/dev/shm`` across runs.
+
+Processes are started with the **fork** context: child bodies close over
+factories (model, stream) that need no pickling, and fork start-up cost is
+what makes short-lived serving tests viable on small machines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import uuid
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving import shm as shmlib
+from repro.serving.worker import WORKER_NICE, run_worker
+
+__all__ = ["ServingCluster"]
+
+_CTX = mp.get_context("fork")
+
+
+class ServingCluster:
+    """One ingest process + N shared-memory query workers, managed together.
+
+    ``model_factory`` / ``stream_factory`` build the model and its input
+    stream *inside* the ingest child.  ``request`` / ``ping`` give tests
+    and benchmarks a synchronous path to any worker;
+    :class:`~repro.serving.frontend.WorkerPoolBackend` wraps the same
+    connections for the asyncio front.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Any],
+        stream_factory: Callable[[], Iterable[Any]],
+        n_workers: int = 1,
+        token: Optional[str] = None,
+        chunk_size: int = 256,
+        publish_every: int = 1,
+        loop_stream: bool = True,
+        worker_nice: int = WORKER_NICE,
+    ) -> None:
+        self.token = token or f"svc{uuid.uuid4().hex[:12]}"
+        self.n_workers = n_workers
+        self._worker_nice = worker_nice
+        self._stop = _CTX.Event()
+        self._ingested = _CTX.Value("Q", 0)
+        self._closed = False
+        self.counters: Dict[str, Any] = {"publisher_restarts": 0, "crash_cleanups": 0}
+
+        from repro.serving.publisher import run_ingest_publisher
+
+        self._publisher = _CTX.Process(
+            target=run_ingest_publisher,
+            args=(self.token, model_factory, stream_factory),
+            kwargs={
+                "chunk_size": chunk_size,
+                "stop_event": self._stop,
+                "counters": self._ingested,
+                "loop_stream": loop_stream,
+                "publish_every": publish_every,
+            },
+            daemon=True,
+        )
+        self._publisher.start()
+
+        self._workers: List[Tuple[Any, Any]] = []  # (process, parent_conn)
+        for _ in range(n_workers):
+            parent_conn, child_conn = _CTX.Pipe(duplex=True)
+            proc = _CTX.Process(
+                target=run_worker,
+                args=(self.token, child_conn),
+                kwargs={"nice": worker_nice},
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def connections(self) -> List[Any]:
+        """Parent-side pipe ends, one per worker (for ``WorkerPoolBackend``)."""
+        return [conn for _, conn in self._workers]
+
+    @property
+    def points_ingested(self) -> int:
+        """Points the ingest process has consumed so far."""
+        return int(self._ingested.value)
+
+    def wait_until_serving(self, timeout_s: float = 30.0) -> None:
+        """Block until every worker holds a publication (version >= 1).
+
+        Pings make each worker run the attach/handshake, so on return every
+        worker has a hydrated snapshot and ``request`` cannot race the
+        first publish.
+        """
+        deadline = time.monotonic() + timeout_s
+        for index in range(self.n_workers):
+            while self.ping(index).get("snapshot_version", 0) < 1:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"worker {index} not serving after {timeout_s}s"
+                    )
+                time.sleep(0.02)
+
+    # ------------------------------------------------------------------ #
+    def request(
+        self, points: Any, worker: int = 0, stable: bool = False
+    ) -> Tuple[Sequence[int], int, float]:
+        """Synchronous ``predict_many`` against one worker.
+
+        Returns ``(labels, snapshot_version, staleness_s)``; raises
+        ``RuntimeError`` while no snapshot has been published yet.
+        """
+        _, conn = self._workers[worker]
+        conn.send(("predict", np.asarray(points), stable))
+        reply = conn.recv()
+        if reply[0] == "ok":
+            return reply[1], reply[2], reply[3]
+        raise RuntimeError(f"worker {worker}: {reply[1]}")
+
+    def ping(self, worker: int = 0, timeout_s: float = 5.0) -> Dict[str, Any]:
+        """Health-check one worker; returns its counters dict."""
+        proc, conn = self._workers[worker]
+        if not proc.is_alive():
+            raise RuntimeError(f"worker {worker} (pid {proc.pid}) is dead")
+        conn.send(("ping",))
+        if not conn.poll(timeout_s):
+            raise TimeoutError(f"worker {worker} did not answer a ping")
+        reply = conn.recv()
+        return reply[1]
+
+    def health_check(self) -> Dict[str, Any]:
+        """Liveness of every process; cleans up segments on publisher death.
+
+        A dead publisher is the one crash the kernel cannot tidy for us —
+        its segments would outlive it — so noticing it here immediately
+        unlinks everything under the cluster's token.
+        """
+        publisher_alive = self._publisher.is_alive()
+        if not publisher_alive and not self._closed:
+            removed = shmlib.cleanup_segments(self.token)
+            if removed:
+                self.counters["crash_cleanups"] += 1
+        workers = []
+        for index, (proc, _) in enumerate(self._workers):
+            alive = proc.is_alive()
+            entry: Dict[str, Any] = {"worker": index, "alive": alive}
+            if alive:
+                try:
+                    entry.update(self.ping(index))
+                except (TimeoutError, RuntimeError) as exc:
+                    entry["alive"] = False
+                    entry["error"] = str(exc)
+            workers.append(entry)
+        return {
+            "token": self.token,
+            "publisher_alive": publisher_alive,
+            "points_ingested": self.points_ingested,
+            "workers": workers,
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """Merged cluster counters: ingest progress + per-worker counters."""
+        health = self.health_check()
+        staleness = [
+            w.get("snapshot_staleness_s")
+            for w in health["workers"]
+            if w.get("snapshot_staleness_s") is not None
+        ]
+        return {
+            **health,
+            **self.counters,
+            "snapshot_staleness_s": max(staleness) if staleness else float("inf"),
+        }
+
+    def leaked_segments(self) -> List[str]:
+        """Segments still present for this token (must be [] after shutdown)."""
+        return shmlib.list_segments(self.token)
+
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout_s: float = 10.0) -> None:
+        """Stop accepting work and let in-flight worker replies complete."""
+        for index, (proc, conn) in enumerate(self._workers):
+            if not proc.is_alive():
+                continue
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                continue
+        deadline = time.monotonic() + timeout_s
+        for proc, _ in self._workers:
+            proc.join(max(0.0, deadline - time.monotonic()))
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Drain workers, stop ingest, and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        self.drain(timeout_s=timeout_s)
+        self._publisher.join(timeout_s)
+        for proc, conn in self._workers:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(2.0)
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._publisher.is_alive():
+            self._publisher.terminate()
+            self._publisher.join(2.0)
+        shmlib.cleanup_segments(self.token)
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort safety net
+        try:
+            if not self._closed and os.getpid() == self._publisher._parent_pid:  # noqa: SLF001
+                self.shutdown(timeout_s=1.0)
+        except Exception:
+            pass

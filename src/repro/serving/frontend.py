@@ -1,0 +1,183 @@
+"""Asyncio micro-batching front: coalesce ``predict`` calls into batches.
+
+Individual callers ``await frontend.predict(point)``; the frontend buffers
+pending points and flushes one ``predict_many`` batch to its backend when
+either knob trips:
+
+* **max_batch** — the buffer reached the batch-size cap (flush immediately);
+* **max_delay** — the oldest pending call has waited long enough (a timer
+  armed when the buffer goes from empty to non-empty).
+
+Backends decouple batching policy from execution: :class:`SnapshotBackend`
+answers in-process from a snapshot object (tests, single-process serving),
+:class:`WorkerPoolBackend` round-robins batches over the shared-memory
+query workers of a :class:`~repro.serving.cluster.ServingCluster` with one
+outstanding batch per worker (pipe I/O runs in the default executor so the
+event loop never blocks on a worker).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MicroBatchFrontend", "SnapshotBackend", "WorkerPoolBackend"]
+
+
+class SnapshotBackend:
+    """In-process backend: answer batches from a snapshot-bearing object.
+
+    ``source`` is anything with ``predict_many`` (a ``ClusterSnapshot``, a
+    live model, or a :class:`~repro.serving.shm.SnapshotReader` holder via
+    the optional ``refresh`` hook).
+    """
+
+    def __init__(self, source: Any) -> None:
+        self._source = source
+
+    async def predict_many(
+        self, points: np.ndarray, stable: bool
+    ) -> Tuple[Sequence[int], Dict[str, Any]]:
+        """Answer one batch; metadata carries version/staleness when known."""
+        labels = self._source.predict_many(points, stable=stable)
+        meta = {"version": getattr(self._source, "version", None), "staleness_s": 0.0}
+        return labels, meta
+
+
+class WorkerPoolBackend:
+    """Dispatch batches to shared-memory query workers, one in flight each.
+
+    Holds an :class:`asyncio.Queue` of idle worker connections; a batch
+    checks a worker out, runs the blocking pipe round-trip in the default
+    executor, and checks the worker back in.  Backpressure is therefore the
+    queue itself: at most ``len(workers)`` batches are in flight and extra
+    flushes await an idle worker.
+    """
+
+    def __init__(self, connections: Sequence[Any]) -> None:
+        if not connections:
+            raise ValueError("WorkerPoolBackend needs at least one worker connection")
+        self._idle: asyncio.Queue = asyncio.Queue()
+        for conn in connections:
+            self._idle.put_nowait(conn)
+
+    async def predict_many(
+        self, points: np.ndarray, stable: bool
+    ) -> Tuple[Sequence[int], Dict[str, Any]]:
+        """Round-trip one batch through the next idle worker."""
+        conn = await self._idle.get()
+        loop = asyncio.get_running_loop()
+        try:
+            reply = await loop.run_in_executor(
+                None, _worker_round_trip, conn, points, stable
+            )
+        finally:
+            self._idle.put_nowait(conn)
+        status = reply[0]
+        if status == "ok":
+            _, labels, version, staleness = reply
+            return labels, {"version": version, "staleness_s": staleness}
+        raise RuntimeError(f"worker could not serve the batch: {reply[1]}")
+
+
+def _worker_round_trip(conn: Any, points: np.ndarray, stable: bool) -> Tuple:
+    conn.send(("predict", points, stable))
+    return conn.recv()
+
+
+class MicroBatchFrontend:
+    """Coalesce awaited ``predict`` calls into ``predict_many`` micro-batches.
+
+    ``max_batch`` flushes on size, ``max_delay`` (seconds) flushes on the
+    age of the oldest pending call.  Counters expose how batching behaved:
+    ``queries``, ``batches``, ``size_flushes``, ``delay_flushes`` and the
+    last batch's ``last_batch_size``.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        max_batch: int = 256,
+        max_delay: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self.backend = backend
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._pending: List[Tuple[Any, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._stable = False
+        self.counters: Dict[str, Any] = {
+            "queries": 0,
+            "batches": 0,
+            "size_flushes": 0,
+            "delay_flushes": 0,
+            "last_batch_size": 0,
+            "last_version": None,
+            "last_staleness_s": None,
+        }
+
+    # ------------------------------------------------------------------ #
+    async def predict(self, point: Any, stable: bool = False) -> int:
+        """Predict one point; resolves when its micro-batch comes back."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._stable = stable  # batches inherit the latest caller's flag
+        self._pending.append((point, future))
+        self.counters["queries"] += 1
+        if len(self._pending) >= self.max_batch:
+            self.counters["size_flushes"] += 1
+            self._flush_now()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_delay, self._flush_on_delay)
+        return await future
+
+    async def drain(self) -> None:
+        """Flush any pending calls and wait for them to resolve."""
+        if self._pending:
+            futures = [future for _, future in self._pending]
+            self._flush_now()
+            await asyncio.gather(*futures, return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    def _flush_on_delay(self) -> None:
+        self._timer = None
+        if self._pending:
+            self.counters["delay_flushes"] += 1
+            self._flush_now()
+
+    def _flush_now(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        asyncio.get_running_loop().create_task(self._run_batch(batch, self._stable))
+
+    async def _run_batch(
+        self, batch: List[Tuple[Any, asyncio.Future]], stable: bool
+    ) -> None:
+        points = np.asarray([point for point, _ in batch])
+        try:
+            labels, meta = await self.backend.predict_many(points, stable)
+        except Exception as exc:  # propagate to every caller in the batch
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.counters["batches"] += 1
+        self.counters["last_batch_size"] = len(batch)
+        self.counters["last_version"] = meta.get("version")
+        self.counters["last_staleness_s"] = meta.get("staleness_s")
+        for (_, future), label in zip(batch, labels):
+            if not future.done():
+                future.set_result(int(label) if _is_int(label) else label)
+
+
+def _is_int(label: Any) -> bool:
+    return isinstance(label, (int, np.integer))

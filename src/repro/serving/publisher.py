@@ -1,0 +1,176 @@
+"""The single-writer side of the serving tier.
+
+:class:`ShmSnapshotPublisher` owns the control block for one serving token
+and turns each :class:`~repro.api.ClusterSnapshot` into an immutable
+shared-memory data segment: write the segment fully, seqlock-swap the
+control block to name it, then unlink the previous segment (readers that
+still map it keep it alive until their next handshake).
+
+:func:`run_ingest_publisher` is the ingest **process body** used by
+:class:`~repro.serving.cluster.ServingCluster` and the serving benchmark:
+it builds the model and stream inside the child process, ingests in
+micro-batches, and publishes a fresh snapshot after every chunk.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.api.snapshot import ClusterSnapshot
+from repro.api.transport import supports_buffer_transport
+from repro.serving import shm as shmlib
+
+__all__ = ["ShmSnapshotPublisher", "run_ingest_publisher"]
+
+
+class ShmSnapshotPublisher:
+    """Publish snapshots for one serving token (single writer).
+
+    Exactly one live publisher per token.  A publisher that finds an
+    existing control block takes it over with a bumped *generation*, so
+    workers that attached to a crashed predecessor re-handshake cleanly
+    (their (generation, version) key can never collide with ours).
+    """
+
+    def __init__(self, token: str) -> None:
+        self.token = token
+        self._ctl, created = shmlib.ControlBlock.create_or_attach(token)
+        previous = None if created else self._ctl.read()
+        self.generation = 1 if previous is None else previous.generation + 1
+        self._version = 0
+        self._current_segment = None
+        self._previous_name: Optional[str] = (
+            None if previous is None else previous.data_segment
+        )
+        #: Publication counters, merged into ``ServingCluster.summary()``.
+        self.counters: Dict[str, Any] = {
+            "publishes": 0,
+            "pickle_publishes": 0,
+            "bytes_published": 0,
+            "publish_seconds": 0.0,
+            "last_version": 0,
+            "last_published_at": 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    def publish(self, snapshot: ClusterSnapshot) -> int:
+        """Write, swap, and retire the previous segment; returns the version."""
+        start = time.perf_counter()
+        self._version += 1
+        published_at = time.time()
+        name = shmlib.data_name(self.token, self.generation, self._version)
+        segment = shmlib.write_snapshot_segment(
+            name, snapshot, self.generation, self._version, published_at
+        )
+        self._ctl.write(self.generation, self._version, published_at, name)
+        # Retire the now-unreachable previous publication.  Attached readers
+        # keep their mapping; new readers can only see the new name.
+        if self._previous_name is not None:
+            try:
+                old = shmlib.attach_segment(self._previous_name)
+                shmlib.unlink_segment(old)
+                old.close()
+            except FileNotFoundError:
+                pass
+        if self._current_segment is not None:
+            self._current_segment.close()
+        self._previous_name = name
+        self._current_segment = segment
+
+        self.counters["publishes"] += 1
+        if not supports_buffer_transport(snapshot):
+            self.counters["pickle_publishes"] += 1
+        self.counters["bytes_published"] += segment.size
+        self.counters["publish_seconds"] += time.perf_counter() - start
+        self.counters["last_version"] = self._version
+        self.counters["last_published_at"] = published_at
+        return self._version
+
+    def staleness_s(self, now: Optional[float] = None) -> float:
+        """Seconds since the last publish (``inf`` before the first one)."""
+        last = self.counters["last_published_at"]
+        if not last:
+            return float("inf")
+        if now is None:
+            now = time.time()
+        return max(0.0, now - last)
+
+    def summary(self) -> Dict[str, Any]:
+        """Counters plus identity, for health checks and experiment reports."""
+        return {
+            "token": self.token,
+            "generation": self.generation,
+            "snapshot_staleness_s": self.staleness_s(),
+            **self.counters,
+        }
+
+    # ------------------------------------------------------------------ #
+    def close(self, unlink: bool = True) -> None:
+        """Drop mappings; with ``unlink`` also remove every live segment."""
+        if self._current_segment is not None:
+            self._current_segment.close()
+            self._current_segment = None
+        if unlink:
+            self._ctl.unlink()
+            self._ctl.close()
+            shmlib.cleanup_segments(self.token)
+        else:
+            self._ctl.close()
+
+    def __enter__(self) -> "ShmSnapshotPublisher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def run_ingest_publisher(
+    token: str,
+    model_factory: Callable[[], Any],
+    stream_factory: Callable[[], Iterable[Any]],
+    chunk_size: int = 256,
+    stop_event: Optional[Any] = None,
+    counters: Optional[Any] = None,
+    loop_stream: bool = True,
+    publish_every: int = 1,
+) -> None:
+    """Ingest-process body: learn in chunks, publish a snapshot per chunk.
+
+    ``counters`` is an optional ``multiprocessing.Value('Q')`` the parent
+    can sample for points ingested; ``stop_event`` ends the loop.  With
+    ``loop_stream`` the stream is replayed so ingestion stays busy for the
+    whole measurement window (the serving benchmark's steady-state load).
+    """
+    publisher = ShmSnapshotPublisher(token)
+    model = model_factory()
+    try:
+        while True:
+            for chunk_index, chunk in enumerate(_chunks(stream_factory(), chunk_size)):
+                if stop_event is not None and stop_event.is_set():
+                    return
+                model.learn_many(chunk)
+                if chunk_index % publish_every == 0:
+                    publisher.publish(model.snapshot())
+                if counters is not None:
+                    with counters.get_lock():
+                        counters.value += len(chunk)
+            publisher.publish(model.snapshot())
+            if not loop_stream:
+                break
+        if stop_event is not None:
+            while not stop_event.is_set():
+                time.sleep(0.01)
+    finally:
+        publisher.close(unlink=False)
+
+
+def _chunks(stream: Iterable[Any], size: int) -> Iterable[list]:
+    chunk: list = []
+    for item in stream:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -1,0 +1,555 @@
+"""Shared-memory snapshot publication: segments, control block, reader.
+
+Layout contract (also documented in ``docs/ARCHITECTURE.md``):
+
+* **Control block** — one small fixed segment per serving *token*, named
+  ``edmserv-{token}-ctl``.  It is the rendezvous point: a seqlock-protected
+  record naming the current data segment::
+
+      bytes 0..7    magic  b"EDMSERV1"
+      bytes 8..15   seq        uint64   (odd = write in progress)
+      bytes 16..23  generation uint64   (bumped on publisher restart)
+      bytes 24..31  version    uint64   (publisher publish counter)
+      bytes 32..39  published_at float64 (wall clock, time.time())
+      bytes 40..47  name_len   uint64
+      bytes 48..239 data-segment name, utf-8
+
+  The single writer increments ``seq`` to an odd value, updates the
+  payload, then increments it to the next even value; readers retry while
+  ``seq`` is odd or changes across their read.
+
+* **Data segments** — one immutable segment per publication, named
+  ``edmserv-{token}-g{generation}s{version}`` (never reused)::
+
+      bytes 0..7    header_len   uint64
+      bytes 8..15   payload_base uint64
+      bytes 16..    pickled header dict
+      payload_base.. raw array payload (or a pickled snapshot)
+
+  The header records the transport mode: ``"arrays"`` (numeric snapshots —
+  per-array ``(offset, size)`` into the payload, hydrated zero-copy through
+  :func:`repro.api.transport.snapshot_from_buffers`) or ``"pickle"`` (grid
+  and object-keyed snapshots, which have no raw-buffer form).
+
+**Swap-on-publish**: a data segment is fully written *before* the control
+block is pointed at it, and the previous segment is unlinked right after
+the swap.  Attached readers keep serving off their (still-mapped) old
+segment until they re-handshake; on Linux an unlinked segment stays valid
+for exactly as long as someone maps it, so steady state is one live data
+segment plus whatever crash-free readers still hold.
+
+**Resource-tracker note**: :class:`multiprocessing.shared_memory.SharedMemory`
+registers every attach with the process's resource tracker, which would
+unlink the publisher's segments when a *reader* exits.  Every attach in
+this module immediately unregisters itself; ownership stays with the
+publisher (and with :func:`cleanup_segments` for crash recovery).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pickle
+import struct
+import time
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.snapshot import ClusterSnapshot
+from repro.api.transport import (
+    snapshot_from_buffers,
+    snapshot_to_buffers,
+    supports_buffer_transport,
+)
+
+__all__ = [
+    "segment_prefix",
+    "control_name",
+    "data_name",
+    "ControlBlock",
+    "ControlState",
+    "write_snapshot_segment",
+    "read_snapshot_segment",
+    "HydratedSnapshot",
+    "SnapshotReader",
+    "attach_segment",
+    "unlink_segment",
+    "list_segments",
+    "cleanup_segments",
+]
+
+_MAGIC = b"EDMSERV1"
+_CTL_SIZE = 256
+_CTL_HEADER = struct.Struct("<8sQQQdQ")  # magic, seq, generation, version, published_at, name_len
+_NAME_OFFSET = _CTL_HEADER.size
+_NAME_CAPACITY = _CTL_SIZE - _NAME_OFFSET
+_SEQ_OFFSET = 8
+_SEQ = struct.Struct("<Q")
+_DATA_PREFIX = struct.Struct("<QQ")  # header_len, payload_base
+_ALIGN = 64
+
+#: Where POSIX shared memory appears as files (Linux); used for crash-time
+#: segment discovery.  On platforms without it, cleanup falls back to the
+#: names recorded in the control block.
+_SHM_DIR = Path("/dev/shm")
+
+
+def segment_prefix(token: str) -> str:
+    """Common name prefix of every segment belonging to a serving token."""
+    return f"edmserv-{token}-"
+
+
+def control_name(token: str) -> str:
+    """Name of the control-block segment for a serving token."""
+    return f"{segment_prefix(token)}ctl"
+
+
+def data_name(token: str, generation: int, version: int) -> str:
+    """Name of one publication's data segment (unique, never reused)."""
+    return f"{segment_prefix(token)}g{generation}s{version}"
+
+
+@contextlib.contextmanager
+def _tracker_silenced():
+    """Suppress resource-tracker registration inside the ``with`` block.
+
+    ``SharedMemory`` registers every create *and attach* with the
+    per-process resource tracker, whose bookkeeping is a name *set*: with
+    several readers attaching and detaching the same segment, paired
+    unregisters race each other and the tracker both spams warnings and
+    unlinks segments out from under live readers.  This module owns segment
+    lifetime explicitly (publisher unlinks on swap, ``cleanup_segments``
+    sweeps on shutdown/crash), so tracker involvement is pure downside.
+    """
+    original_register = resource_tracker.register
+    original_unregister = resource_tracker.unregister
+    resource_tracker.register = lambda name, rtype: None
+    resource_tracker.unregister = lambda name, rtype: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original_register
+        resource_tracker.unregister = original_unregister
+
+
+def _create_segment(name: str, size: int) -> shared_memory.SharedMemory:
+    """Create a segment whose lifetime this module manages (untracked)."""
+    with _tracker_silenced():
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without claiming cleanup ownership."""
+    with _tracker_silenced():
+        return shared_memory.SharedMemory(name=name)
+
+
+def unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Unlink an untracked segment (tolerates a concurrent unlink)."""
+    with _tracker_silenced():
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+@dataclass(frozen=True)
+class ControlState:
+    """One consistent read of the control block."""
+
+    generation: int
+    version: int
+    published_at: float
+    data_segment: str
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """(generation, version) identity of the current publication."""
+        return (self.generation, self.version)
+
+    def staleness_s(self, now: Optional[float] = None) -> float:
+        """Seconds since the current snapshot was published (wall clock)."""
+        if now is None:
+            now = time.time()
+        return max(0.0, now - self.published_at)
+
+
+class ControlBlock:
+    """The seqlock-protected rendezvous segment (single writer, many readers)."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create_or_attach(cls, token: str) -> Tuple["ControlBlock", bool]:
+        """Create the control block, or take over an existing one.
+
+        Returns ``(block, created)``.  A restarting publisher must *reuse*
+        the existing segment rather than recreate it — readers hold a
+        mapping of the original and would never observe a replacement.
+        """
+        name = control_name(token)
+        try:
+            shm = _create_segment(name, _CTL_SIZE)
+            return cls(shm, owner=True), True
+        except FileExistsError:
+            block = cls(attach_segment(name), owner=True)
+            state = block.read()
+            if state is not None:
+                block._seq = 2 * state.version  # resume from an even seq
+            return block, False
+
+    @classmethod
+    def attach(cls, token: str) -> "ControlBlock":
+        """Attach read-only (raises ``FileNotFoundError`` if not published)."""
+        return cls(attach_segment(control_name(token)), owner=False)
+
+    @property
+    def name(self) -> str:
+        """Segment name of the control block."""
+        return self._shm.name
+
+    # ------------------------------------------------------------------ #
+    def write(
+        self, generation: int, version: int, published_at: float, data_segment: str
+    ) -> None:
+        """Publish a new control record (single-writer seqlock protocol)."""
+        encoded = data_segment.encode("utf-8")
+        if len(encoded) > _NAME_CAPACITY:
+            raise ValueError(f"data segment name too long: {data_segment!r}")
+        buf = self._shm.buf
+        self._seq += 1  # odd: write in progress
+        _SEQ.pack_into(buf, _SEQ_OFFSET, self._seq)
+        _CTL_HEADER.pack_into(
+            buf, 0, _MAGIC, self._seq, generation, version, published_at, len(encoded)
+        )
+        buf[_NAME_OFFSET : _NAME_OFFSET + len(encoded)] = encoded
+        self._seq += 1  # even: stable
+        _SEQ.pack_into(buf, _SEQ_OFFSET, self._seq)
+
+    def read(self, attempts: int = 64) -> Optional[ControlState]:
+        """One consistent read, or ``None`` if nothing was ever published."""
+        buf = self._shm.buf
+        for _ in range(attempts):
+            magic, seq1, generation, version, published_at, name_len = (
+                _CTL_HEADER.unpack_from(buf, 0)
+            )
+            if magic != _MAGIC or seq1 == 0:
+                return None
+            if seq1 % 2:
+                time.sleep(0)  # writer mid-update; yield and retry
+                continue
+            name = bytes(buf[_NAME_OFFSET : _NAME_OFFSET + name_len]).decode("utf-8")
+            (seq2,) = _SEQ.unpack_from(buf, _SEQ_OFFSET)
+            if seq1 == seq2:
+                return ControlState(generation, version, published_at, name)
+            time.sleep(0)
+        raise TimeoutError("control block kept changing under the reader")
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this process's mapping."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment (owner only; attached readers stay valid)."""
+        unlink_segment(self._shm)
+
+
+# ---------------------------------------------------------------------- #
+# data segments
+# ---------------------------------------------------------------------- #
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def write_snapshot_segment(
+    name: str,
+    snapshot: ClusterSnapshot,
+    generation: int,
+    version: int,
+    published_at: float,
+) -> shared_memory.SharedMemory:
+    """Write one immutable publication segment and return it (attached).
+
+    Numeric snapshots are decomposed into raw array buffers (the zero-copy
+    serving path); grid and object-keyed snapshots fall back to pickling
+    the whole snapshot into the payload.
+    """
+    if supports_buffer_transport(snapshot):
+        transport_header, arrays = snapshot_to_buffers(snapshot)
+        offsets: Dict[str, Tuple[int, int]] = {}
+        cursor = 0
+        for array_name, array in arrays.items():
+            cursor = _aligned(cursor)
+            offsets[array_name] = (cursor, array.nbytes)
+            cursor += array.nbytes
+        header = {
+            "mode": "arrays",
+            "generation": generation,
+            "version": version,
+            "published_at": published_at,
+            "transport_header": transport_header,
+            "offsets": offsets,
+        }
+        payload_size = cursor
+    else:
+        blob = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "mode": "pickle",
+            "generation": generation,
+            "version": version,
+            "published_at": published_at,
+            "size": len(blob),
+        }
+        payload_size = len(blob)
+
+    header_blob = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
+    payload_base = _aligned(_DATA_PREFIX.size + len(header_blob))
+    total = max(1, payload_base + payload_size)
+    shm = _create_segment(name, total)
+    buf = shm.buf
+    _DATA_PREFIX.pack_into(buf, 0, len(header_blob), payload_base)
+    buf[_DATA_PREFIX.size : _DATA_PREFIX.size + len(header_blob)] = header_blob
+    if header["mode"] == "arrays":
+        for array_name, array in arrays.items():
+            offset, size = offsets[array_name]
+            start = payload_base + offset
+            dest = np.frombuffer(buf, dtype=np.uint8, offset=start, count=size)
+            dest[:] = array.view(np.uint8).reshape(-1)
+            del dest
+    else:
+        buf[payload_base : payload_base + payload_size] = blob
+    return shm
+
+
+def read_snapshot_segment(
+    shm: shared_memory.SharedMemory, copy: bool = False
+) -> Tuple[ClusterSnapshot, Dict[str, Any]]:
+    """Hydrate ``(snapshot, header)`` from a publication segment.
+
+    In ``"arrays"`` mode with ``copy=False`` the snapshot's arrays are
+    views into the segment — the caller must keep ``shm`` open while the
+    snapshot is in use (:class:`HydratedSnapshot` manages that pairing).
+    """
+    buf = shm.buf
+    header_len, payload_base = _DATA_PREFIX.unpack_from(buf, 0)
+    header = pickle.loads(bytes(buf[_DATA_PREFIX.size : _DATA_PREFIX.size + header_len]))
+    if header["mode"] == "arrays":
+        buffers = {
+            array_name: buf[payload_base + offset : payload_base + offset + size]
+            for array_name, (offset, size) in header["offsets"].items()
+        }
+        snapshot = snapshot_from_buffers(header["transport_header"], buffers, copy=copy)
+    else:
+        payload = bytes(buf[payload_base : payload_base + header["size"]])
+        snapshot = pickle.loads(payload)
+    return snapshot, header
+
+
+class HydratedSnapshot:
+    """A snapshot hydrated from shared memory, paired with its segment.
+
+    Keeps the backing segment mapped for as long as the snapshot is alive
+    (zero-copy arrays point into it) and closes the mapping on
+    :meth:`close`.  ``mode`` is ``"arrays"`` (zero-copy) or ``"pickle"``.
+    """
+
+    def __init__(
+        self,
+        snapshot: ClusterSnapshot,
+        segment: Optional[shared_memory.SharedMemory],
+        generation: int,
+        version: int,
+        published_at: float,
+        mode: str,
+    ) -> None:
+        self.snapshot = snapshot
+        self._segment = segment
+        self.generation = generation
+        self.version = version
+        self.published_at = published_at
+        self.mode = mode
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """(generation, version) identity of this publication."""
+        return (self.generation, self.version)
+
+    def staleness_s(self, now: Optional[float] = None) -> float:
+        """Seconds between publication and ``now`` (wall clock)."""
+        if now is None:
+            now = time.time()
+        return max(0.0, now - self.published_at)
+
+    def close(self) -> None:
+        """Release the snapshot and unmap the backing segment."""
+        self.snapshot = None
+        if self._segment is not None:
+            try:
+                self._segment.close()
+            except BufferError:
+                # Someone still holds the arrays; the mapping falls with them.
+                pass
+            self._segment = None
+
+
+class SnapshotReader:
+    """Attach-and-handshake client for one serving token.
+
+    ``refresh()`` is the version handshake: read the control block, and if
+    it names a newer publication than the one currently held, attach the
+    new data segment, hydrate it, and verify that the segment's own header
+    matches what the control block promised.  A segment that disappears
+    mid-attach (the publisher swapped and unlinked it between our control
+    read and the attach) is simply retried against the fresh control state
+    — that is the expected race under rapid republish, not an error.
+    """
+
+    def __init__(self, token: str, copy: bool = False) -> None:
+        self.token = token
+        self.copy = copy
+        self._ctl: Optional[ControlBlock] = None
+        self._current: Optional[HydratedSnapshot] = None
+        #: Publication/handshake counters (exposed through worker summaries).
+        self.counters: Dict[str, int] = {
+            "attaches": 0,
+            "handshake_retries": 0,
+            "pickle_hydrations": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _ensure_ctl(self) -> bool:
+        if self._ctl is None:
+            try:
+                self._ctl = ControlBlock.attach(self.token)
+            except FileNotFoundError:
+                return False
+        return True
+
+    def poll(self) -> Optional[ControlState]:
+        """Cheap control-block read (no segment attach)."""
+        if not self._ensure_ctl():
+            return None
+        return self._ctl.read()
+
+    @property
+    def current(self) -> Optional[HydratedSnapshot]:
+        """The publication currently held (may be stale; see :meth:`refresh`)."""
+        return self._current
+
+    def refresh(self, max_attempts: int = 16) -> Optional[HydratedSnapshot]:
+        """Re-handshake if the control block advertises a newer publication."""
+        state = self.poll()
+        if state is None:
+            return self._current
+        if self._current is not None and self._current.key == state.key:
+            return self._current
+        for _ in range(max_attempts):
+            try:
+                segment = attach_segment(state.data_segment)
+            except FileNotFoundError:
+                # Swapped away under us; re-read and try the newer segment.
+                self.counters["handshake_retries"] += 1
+                newer = self.poll()
+                if newer is None or newer.key == state.key:
+                    time.sleep(0.001)
+                    continue
+                state = newer
+                continue
+            snapshot, header = read_snapshot_segment(segment, copy=self.copy)
+            if (header["generation"], header["version"]) != state.key:
+                # The name can never be reused, so this is a torn control
+                # read rather than stale data; re-handshake from scratch.
+                self.counters["handshake_retries"] += 1
+                segment.close()
+                refreshed = self.poll()
+                if refreshed is not None:
+                    state = refreshed
+                continue
+            hydrated = HydratedSnapshot(
+                snapshot,
+                segment if header["mode"] == "arrays" else _closed(segment),
+                header["generation"],
+                header["version"],
+                header["published_at"],
+                header["mode"],
+            )
+            self.counters["attaches"] += 1
+            if header["mode"] == "pickle":
+                self.counters["pickle_hydrations"] += 1
+            previous, self._current = self._current, hydrated
+            if previous is not None:
+                previous.close()
+            return self._current
+        raise TimeoutError(
+            f"could not complete the snapshot handshake for token {self.token!r} "
+            f"after {max_attempts} attempts"
+        )
+
+    def close(self) -> None:
+        """Release the held publication and the control-block mapping."""
+        if self._current is not None:
+            self._current.close()
+            self._current = None
+        if self._ctl is not None:
+            self._ctl.close()
+            self._ctl = None
+
+
+def _closed(segment: shared_memory.SharedMemory) -> None:
+    """Close a segment a pickle-mode hydration no longer needs."""
+    segment.close()
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# discovery and cleanup
+# ---------------------------------------------------------------------- #
+def list_segments(token: Optional[str] = None) -> List[str]:
+    """Names of live serving segments (optionally restricted to a token)."""
+    prefix = segment_prefix(token) if token is not None else "edmserv-"
+    if _SHM_DIR.is_dir():
+        return sorted(p.name for p in _SHM_DIR.iterdir() if p.name.startswith(prefix))
+    return []  # pragma: no cover - non-Linux fallback handled by cleanup
+
+
+def cleanup_segments(token: str) -> List[str]:
+    """Unlink every segment belonging to a token; returns the names removed.
+
+    Safe to call at any time (idempotent): normal shutdown, double
+    cleanup, and crash recovery after a killed publisher all land here.
+    Readers that still hold mappings keep them until they close.
+    """
+    names = list_segments(token)
+    if not names:
+        # Fallback discovery when /dev/shm is not scannable: the control
+        # block knows the current data segment.
+        try:
+            ctl = ControlBlock.attach(token)
+        except FileNotFoundError:
+            return []
+        state = ctl.read()
+        ctl.close()
+        names = [control_name(token)]
+        if state is not None:
+            names.append(state.data_segment)
+    removed = []
+    for name in names:
+        try:
+            shm = attach_segment(name)
+        except FileNotFoundError:
+            continue
+        unlink_segment(shm)
+        removed.append(name)
+        shm.close()
+    return removed

@@ -1,0 +1,134 @@
+"""Query-worker process body: serve ``predict_many`` off shared arrays.
+
+A worker owns one :class:`~repro.serving.shm.SnapshotReader` and one end of
+a duplex :class:`multiprocessing.Pipe`.  Its loop is deliberately simple —
+blocking receive, cheap control-block poll, re-handshake only when the
+(generation, version) key moved, answer the batch — because everything
+expensive (the seed matrix, densities, labels) is already mapped shared
+memory: hydrating a new publication attaches a segment and builds array
+*views*, it never copies the data.
+
+Workers run at positive ``nice`` (default ``+9``): ingest-protection
+priority.  The publisher must never fall behind the stream, so query
+workers yield to it and serving capacity scales by adding workers that
+soak up whatever CPU share ingestion leaves free.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.serving.shm import SnapshotReader
+
+__all__ = ["run_worker", "WORKER_NICE"]
+
+#: Default niceness added to query workers (ingest-protection priority).
+WORKER_NICE = 9
+
+
+def _refresh(reader: SnapshotReader, counters: Dict[str, Any]):
+    """Run the version handshake and fold the outcome into the counters.
+
+    A failed handshake must never take the worker down: the control block
+    can name a segment that was just swept by crash cleanup (the publisher
+    died and ``ServingCluster.health_check`` unlinked its segments), in
+    which case the worker keeps answering off its current — still mapped —
+    snapshot until a new publisher appears.
+    """
+    before = reader.current.key if reader.current else None
+    try:
+        hydrated = reader.refresh()
+    except (TimeoutError, FileNotFoundError, OSError):
+        counters["failed_handshakes"] += 1
+        return reader.current
+    if hydrated is not None and hydrated.key != before:
+        counters["rehandshakes"] += 1
+        counters["snapshot_version"] = hydrated.version
+        counters["snapshot_generation"] = hydrated.generation
+    return hydrated
+
+
+def run_worker(
+    token: str,
+    conn: Any,
+    nice: int = WORKER_NICE,
+    poll_interval_s: float = 0.0,
+) -> None:
+    """Serve prediction batches over ``conn`` until a ``stop`` message.
+
+    Protocol (parent side sends tuples, worker replies per message):
+
+    * ``("predict", points, stable)`` → ``("ok", labels, version, staleness_s)``
+      or ``("unavailable", reason)`` before the first publication.
+    * ``("ping",)`` → ``("pong", counters_dict)`` — health check + counters.
+    * ``("stop",)`` → worker closes its reader and exits.
+
+    ``poll_interval_s`` rate-limits the control-block poll; ``0`` polls on
+    every batch (the control read is two struct unpacks, so per-batch
+    polling costs almost nothing and bounds staleness at one batch).
+    """
+    if nice:
+        try:
+            os.nice(nice)
+        except OSError:  # pragma: no cover - restricted environments
+            pass
+    reader = SnapshotReader(token)
+    counters: Dict[str, Any] = {
+        "pid": os.getpid(),
+        "batches": 0,
+        "queries": 0,
+        "rehandshakes": 0,
+        "failed_handshakes": 0,
+        "snapshot_version": 0,
+        "snapshot_generation": 0,
+        "snapshot_staleness_s": float("inf"),
+    }
+    last_poll = 0.0
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "ping":
+                current = _refresh(reader, counters)
+                if current is not None:
+                    counters["snapshot_staleness_s"] = current.staleness_s()
+                conn.send(("pong", {**counters, **reader.counters}))
+                continue
+            if kind != "predict":  # pragma: no cover - protocol misuse
+                conn.send(("error", f"unknown message kind {kind!r}"))
+                continue
+
+            _, points, stable = message
+            now = time.monotonic()
+            if poll_interval_s <= 0.0 or now - last_poll >= poll_interval_s:
+                last_poll = now
+                _refresh(reader, counters)
+            current = reader.current
+            if current is None:
+                conn.send(("unavailable", "no snapshot published yet"))
+                continue
+            try:
+                labels = current.snapshot.predict_many(
+                    np.asarray(points), stable=stable
+                )
+            except Exception as exc:  # bad query must not kill the worker
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                continue
+            counters["batches"] += 1
+            counters["queries"] += len(labels)
+            conn.send(("ok", labels, current.version, current.staleness_s()))
+    finally:
+        reader.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -1,0 +1,339 @@
+"""Serving-tier tests (ISSUE 7): shared-memory fan-out of snapshots.
+
+The contracts under test:
+
+* **zero-copy publication** — a worker-side hydrated snapshot serves
+  ``predict_many`` off arrays that are *views into the shared segment*
+  (``np.shares_memory`` against the segment buffer), never copies;
+* **version handshake under rapid republish** — a reader refreshing while
+  the publisher swaps segments as fast as it can always lands on a
+  consistent (generation, version, arrays) triple, and retries on the
+  swapped-away-segment race instead of failing;
+* **publisher restart** — a new publisher over the same token bumps the
+  generation; already-attached readers re-handshake onto it;
+* **segment hygiene** — steady state is one control block plus one data
+  segment; shutdown unlinks everything; a SIGKILLed publisher's segments
+  are swept by the cluster's health check (no ``/dev/shm`` leaks);
+* **micro-batch frontend** — flushes on the max-batch trigger (immediate)
+  and on the max-delay trigger (timer), with per-trigger counters;
+* **lifecycle** — a full ``ServingCluster`` serves synchronized labels
+  from every worker while ingestion runs, and exposes staleness and
+  publish/attach counters via ``summary()``.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import EDMStream
+from repro.serving import (
+    MicroBatchFrontend,
+    ServingCluster,
+    ShmSnapshotPublisher,
+    SnapshotBackend,
+    SnapshotReader,
+    WorkerPoolBackend,
+    cleanup_segments,
+    list_segments,
+)
+from repro.streams import SDSGenerator
+
+
+def make_model():
+    return EDMStream(radius=0.3, beta=0.0021, stream_rate=1000.0)
+
+
+def make_stream(n_points=1500, seed=7):
+    return SDSGenerator(n_points=n_points, rate=1000.0, seed=seed).generate()
+
+
+def make_snapshot(n_points=1500, seed=7):
+    model = make_model()
+    model.learn_many(make_stream(n_points, seed))
+    return model.request_clustering()
+
+
+QUERIES = np.asarray(
+    [p.values for p in SDSGenerator(n_points=32, rate=1000.0, seed=9).generate()]
+)
+
+
+@pytest.fixture
+def token():
+    """A per-test serving token, swept clean afterwards no matter what."""
+    value = f"test{os.getpid()}"
+    cleanup_segments(value)
+    yield value
+    cleanup_segments(value)
+    assert list_segments(value) == []
+
+
+class TestPublisherReaderHandshake:
+    def test_publish_hydrate_round_trip(self, token):
+        snapshot = make_snapshot()
+        with ShmSnapshotPublisher(token) as publisher:
+            version = publisher.publish(snapshot)
+            assert version == 1
+            reader = SnapshotReader(token)
+            hydrated = reader.refresh()
+            assert hydrated is not None and hydrated.key == (1, 1)
+            assert hydrated.mode == "arrays"
+            assert hydrated.snapshot.predict_many(QUERIES).tolist() == (
+                snapshot.predict_many(QUERIES).tolist()
+            )
+            reader.close()
+
+    def test_hydration_is_zero_copy_out_of_the_segment(self, token):
+        snapshot = make_snapshot()
+        with ShmSnapshotPublisher(token) as publisher:
+            publisher.publish(snapshot)
+            reader = SnapshotReader(token)
+            hydrated = reader.refresh()
+            segment_bytes = np.frombuffer(
+                hydrated._segment.buf, dtype=np.uint8
+            )
+            checked = 0
+            for name in ("seeds", "cell_ids", "labels", "densities", "coverage"):
+                array = getattr(hydrated.snapshot, name)
+                if not isinstance(array, np.ndarray):
+                    continue  # scalar coverage has no buffer form
+                assert not array.flags.writeable, name
+                assert np.shares_memory(array, segment_bytes), name
+                checked += 1
+            assert checked >= 4  # seeds, cell_ids, labels, densities
+            del segment_bytes, array
+            reader.close()
+
+    def test_rapid_republish_always_lands_consistent(self, token):
+        model = make_model()
+        model.learn_many(make_stream())
+        with ShmSnapshotPublisher(token) as publisher:
+            reader = SnapshotReader(token)
+            last_version = 0
+            for _ in range(40):
+                publisher.publish(model.snapshot())
+                hydrated = reader.refresh()
+                # Consistency: the hydrated header matches its own arrays
+                # and versions move monotonically forward.
+                assert hydrated.version >= last_version
+                assert hydrated.generation == publisher.generation
+                labels = hydrated.snapshot.predict_many(QUERIES)
+                assert len(labels) == len(QUERIES)
+                last_version = hydrated.version
+            assert last_version == 40
+            # Steady state: exactly one control block + one data segment.
+            assert len(list_segments(token)) == 2
+            reader.close()
+
+    def test_reader_survives_swap_while_detached(self, token):
+        snapshot = make_snapshot()
+        with ShmSnapshotPublisher(token) as publisher:
+            publisher.publish(snapshot)
+            reader = SnapshotReader(token)
+            reader.refresh()
+            for _ in range(5):  # several swaps while the reader sleeps
+                publisher.publish(snapshot)
+            hydrated = reader.refresh()
+            assert hydrated.version == 6
+            # The old publication was unlinked but the reader's arrays
+            # stayed valid the whole time (mapping outlives the unlink).
+            assert hydrated.snapshot.predict_many(QUERIES).tolist() == (
+                snapshot.predict_many(QUERIES).tolist()
+            )
+            reader.close()
+
+    def test_attach_after_publisher_restart_bumps_generation(self, token):
+        snapshot = make_snapshot()
+        first = ShmSnapshotPublisher(token)
+        first.publish(snapshot)
+        reader = SnapshotReader(token)
+        assert reader.refresh().key == (1, 1)
+        first.close(unlink=False)  # simulated crash: segments stay behind
+
+        second = ShmSnapshotPublisher(token)
+        assert second.generation == 2
+        second.publish(snapshot)
+        hydrated = reader.refresh()
+        assert hydrated.key == (2, 1)
+        assert hydrated.snapshot.predict_many(QUERIES).tolist() == (
+            snapshot.predict_many(QUERIES).tolist()
+        )
+        reader.close()
+        second.close()
+
+    def test_pickle_fallback_for_object_snapshots(self, token):
+        from repro.distance import TokenSetPoint
+
+        model = EDMStream(radius=0.6, metric="jaccard", stream_rate=1000.0)
+        docs = [
+            frozenset({"goal", "match", "football"}),
+            frozenset({"phone", "android", "release"}),
+        ] * 400
+        model.learn_many([TokenSetPoint(tokens) for tokens in docs])
+        snapshot = model.request_clustering()
+        assert snapshot.seed_objects is not None
+        with ShmSnapshotPublisher(token) as publisher:
+            publisher.publish(snapshot)
+            assert publisher.counters["pickle_publishes"] == 1
+            reader = SnapshotReader(token)
+            hydrated = reader.refresh()
+            assert hydrated.mode == "pickle"
+            queries = [TokenSetPoint(frozenset({"goal", "match"}))]
+            assert hydrated.snapshot.predict_many(queries).tolist() == (
+                snapshot.predict_many(queries).tolist()
+            )
+            reader.close()
+
+    def test_publisher_counters_and_staleness(self, token):
+        snapshot = make_snapshot()
+        with ShmSnapshotPublisher(token) as publisher:
+            assert publisher.staleness_s() == float("inf")
+            publisher.publish(snapshot)
+            publisher.publish(snapshot)
+            summary = publisher.summary()
+            assert summary["publishes"] == 2
+            assert summary["last_version"] == 2
+            assert summary["bytes_published"] > 0
+            assert 0.0 <= summary["snapshot_staleness_s"] < 60.0
+
+
+class TestMicroBatchFrontend:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_flush_on_max_batch_is_immediate(self):
+        snapshot = make_snapshot()
+
+        async def scenario():
+            front = MicroBatchFrontend(
+                SnapshotBackend(snapshot), max_batch=8, max_delay=60.0
+            )
+            labels = await asyncio.gather(
+                *(front.predict(q) for q in QUERIES[:8])
+            )
+            return front, labels
+
+        front, labels = self._run(scenario())
+        # max_delay is a minute: only the size trigger can have flushed.
+        assert front.counters["size_flushes"] == 1
+        assert front.counters["delay_flushes"] == 0
+        assert front.counters["batches"] == 1
+        assert labels == snapshot.predict_many(QUERIES[:8]).tolist()
+
+    def test_flush_on_max_delay_timer(self):
+        snapshot = make_snapshot()
+
+        async def scenario():
+            front = MicroBatchFrontend(
+                SnapshotBackend(snapshot), max_batch=1000, max_delay=0.01
+            )
+            labels = await asyncio.gather(
+                *(front.predict(q) for q in QUERIES[:3])
+            )
+            return front, labels
+
+        front, labels = self._run(scenario())
+        assert front.counters["delay_flushes"] == 1
+        assert front.counters["size_flushes"] == 0
+        assert labels == snapshot.predict_many(QUERIES[:3]).tolist()
+
+    def test_drain_flushes_the_tail(self):
+        snapshot = make_snapshot()
+
+        async def scenario():
+            front = MicroBatchFrontend(
+                SnapshotBackend(snapshot), max_batch=1000, max_delay=60.0
+            )
+            pending = [asyncio.ensure_future(front.predict(q)) for q in QUERIES[:5]]
+            await asyncio.sleep(0)  # let the predicts enqueue
+            await front.drain()
+            return front, [await p for p in pending]
+
+        front, labels = self._run(scenario())
+        assert front.counters["batches"] == 1
+        assert labels == snapshot.predict_many(QUERIES[:5]).tolist()
+
+    def test_backend_error_propagates_to_every_caller(self):
+        class FailingBackend:
+            async def predict_many(self, points, stable):
+                raise RuntimeError("backend down")
+
+        async def scenario():
+            front = MicroBatchFrontend(FailingBackend(), max_batch=2, max_delay=60.0)
+            results = await asyncio.gather(
+                front.predict([0.0, 0.0]),
+                front.predict([1.0, 1.0]),
+                return_exceptions=True,
+            )
+            return results
+
+        results = self._run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+
+class TestServingCluster:
+    def test_end_to_end_serving_under_ingestion(self):
+        with ServingCluster(
+            make_model, make_stream, n_workers=2, chunk_size=256
+        ) as cluster:
+            cluster.wait_until_serving(timeout_s=60.0)
+            labels0, version0, staleness0 = cluster.request(QUERIES, worker=0)
+            labels1, version1, _ = cluster.request(QUERIES, worker=1)
+            assert len(labels0) == len(QUERIES)
+            assert version0 >= 1 and version1 >= 1
+            assert 0.0 <= staleness0 < 60.0
+
+            ping = cluster.ping(0)
+            assert ping["queries"] >= len(QUERIES)
+            assert ping["attaches"] >= 1
+            assert ping["snapshot_version"] >= 1
+
+            summary = cluster.summary()
+            assert summary["publisher_alive"]
+            assert summary["points_ingested"] > 0
+            assert summary["snapshot_staleness_s"] < 60.0
+            assert all(w["alive"] for w in summary["workers"])
+
+            async def through_frontend():
+                backend = WorkerPoolBackend(cluster.connections)
+                front = MicroBatchFrontend(backend, max_batch=8, max_delay=0.005)
+                labels = await asyncio.gather(*(front.predict(q) for q in QUERIES))
+                await front.drain()
+                return labels
+
+            labels = asyncio.run(through_frontend())
+            assert len(labels) == len(QUERIES)
+            token = cluster.token
+        assert list_segments(token) == []
+
+    def test_sigkilled_publisher_segments_are_swept(self):
+        cluster = ServingCluster(make_model, make_stream, n_workers=1)
+        try:
+            cluster.wait_until_serving(timeout_s=60.0)
+            assert len(cluster.leaked_segments()) >= 2
+            os.kill(cluster._publisher.pid, signal.SIGKILL)
+            cluster._publisher.join(10.0)
+            health = cluster.health_check()
+            assert not health["publisher_alive"]
+            assert cluster.counters["crash_cleanups"] == 1
+            assert cluster.leaked_segments() == []
+            # The attached worker still answers off its mapped arrays.
+            labels, _, _ = cluster.request(QUERIES, worker=0)
+            assert len(labels) == len(QUERIES)
+        finally:
+            cluster.shutdown()
+        assert cluster.leaked_segments() == []
+
+    def test_shutdown_is_idempotent_and_leak_free(self):
+        cluster = ServingCluster(make_model, make_stream, n_workers=1)
+        cluster.wait_until_serving(timeout_s=60.0)
+        token = cluster.token
+        cluster.shutdown()
+        cluster.shutdown()
+        assert list_segments(token) == []
+        assert not cluster._publisher.is_alive()
+        assert not any(proc.is_alive() for proc, _ in cluster._workers)

@@ -1,0 +1,186 @@
+"""Snapshot serialization: pickle round-trips and raw-buffer hydration.
+
+The serving tier (ISSUE 7) moves snapshots between processes two ways —
+whole-snapshot pickle for grid/object-keyed serving state, and raw array
+buffers (the zero-copy shared-memory path) for numeric snapshots.  These
+tests pin the contracts:
+
+* every snapshot mode round-trips through pickle with ``predict_many``
+  equivalence (seed-matrix, float32 seed-matrix, grid, Jaccard/token-set);
+* numeric snapshots round-trip through ``snapshot_to_buffers`` /
+  ``snapshot_from_buffers`` with identical labels and dtypes;
+* ``copy=False`` hydration is genuinely zero-copy: the snapshot's arrays
+  are read-only views over the caller's buffers;
+* non-numeric snapshots are routed to pickle transport
+  (``supports_buffer_transport`` is the dispatcher).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ClusterSnapshot,
+    snapshot_from_buffers,
+    snapshot_to_buffers,
+    supports_buffer_transport,
+)
+from repro.baselines import DStream
+from repro.core import EDMStream
+from repro.streams import SDSGenerator
+
+
+def numeric_snapshot(dtype="float64"):
+    model = EDMStream(radius=0.3, beta=0.0021, stream_rate=1000.0, dtype=dtype)
+    model.learn_many(SDSGenerator(n_points=2000, rate=1000.0, seed=7).generate())
+    snapshot = model.request_clustering()
+    assert snapshot.n_cells > 0 and snapshot.seeds is not None
+    return snapshot
+
+
+def grid_snapshot():
+    model = DStream(grid_size=1.0)
+    model.learn_many(SDSGenerator(n_points=2000, rate=1000.0, seed=7).generate())
+    snapshot = model.request_clustering()
+    assert snapshot.grid is not None and len(snapshot.grid.labels) > 0
+    return snapshot
+
+
+def jaccard_snapshot():
+    from repro.distance import TokenSetPoint
+
+    model = EDMStream(radius=0.6, metric="jaccard", stream_rate=1000.0)
+    docs = [
+        frozenset({"goal", "match", "football"}),
+        frozenset({"goal", "match", "league"}),
+        frozenset({"phone", "android", "release"}),
+        frozenset({"phone", "android", "update"}),
+    ] * 400
+    model.learn_many([TokenSetPoint(tokens) for tokens in docs])
+    snapshot = model.request_clustering()
+    assert snapshot.seed_objects is not None and snapshot.metric is not None
+    return snapshot
+
+
+QUERIES = np.asarray(
+    [p.values for p in SDSGenerator(n_points=64, rate=1000.0, seed=9).generate()]
+)
+
+
+class TestPickleRoundTrip:
+    def test_numeric_snapshot_round_trips(self):
+        snapshot = numeric_snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.version == snapshot.version
+        assert clone.tau == snapshot.tau
+        np.testing.assert_array_equal(clone.seeds, snapshot.seeds)
+        assert clone.predict_many(QUERIES).tolist() == snapshot.predict_many(
+            QUERIES
+        ).tolist()
+        assert dict(clone.stable_ids) == dict(snapshot.stable_ids)
+
+    def test_float32_snapshot_round_trips_preserving_dtype(self):
+        snapshot = numeric_snapshot(dtype="float32")
+        assert snapshot.seeds.dtype == np.float32
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.seeds.dtype == snapshot.seeds.dtype
+        assert clone.predict_many(QUERIES).tolist() == snapshot.predict_many(
+            QUERIES
+        ).tolist()
+
+    def test_grid_snapshot_round_trips(self):
+        snapshot = grid_snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.grid is not None
+        assert dict(clone.grid.labels) == dict(snapshot.grid.labels)
+        assert clone.predict_many(QUERIES).tolist() == snapshot.predict_many(
+            QUERIES
+        ).tolist()
+
+    def test_jaccard_snapshot_round_trips(self):
+        from repro.distance import TokenSetPoint
+
+        snapshot = jaccard_snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        queries = [
+            TokenSetPoint(frozenset({"goal", "match"})),
+            TokenSetPoint(frozenset({"phone", "android"})),
+        ]
+        assert clone.predict_many(queries).tolist() == snapshot.predict_many(
+            queries
+        ).tolist()
+
+    def test_round_trip_stays_immutable(self):
+        clone = pickle.loads(pickle.dumps(numeric_snapshot()))
+        with pytest.raises((ValueError, RuntimeError)):
+            clone.seeds[0, 0] = 99.0
+        with pytest.raises(TypeError):
+            clone.stable_ids[1] = 2
+
+
+class TestBufferTransport:
+    def test_dispatcher_classifies_modes(self):
+        assert supports_buffer_transport(numeric_snapshot())
+        assert not supports_buffer_transport(grid_snapshot())
+        assert not supports_buffer_transport(jaccard_snapshot())
+
+    def test_buffer_transport_rejects_grid_snapshots(self):
+        with pytest.raises(ValueError, match="pickle transport"):
+            snapshot_to_buffers(grid_snapshot())
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_buffer_round_trip_matches(self, dtype):
+        snapshot = numeric_snapshot(dtype=dtype)
+        header, arrays = snapshot_to_buffers(snapshot)
+        # Simulate crossing a process boundary: header via pickle, arrays
+        # as raw bytes (what lands in a shared-memory segment).
+        header = pickle.loads(pickle.dumps(header))
+        buffers = {name: array.tobytes() for name, array in arrays.items()}
+        clone = snapshot_from_buffers(header, buffers)
+        assert clone.seeds.dtype == snapshot.seeds.dtype
+        np.testing.assert_array_equal(clone.seeds, snapshot.seeds)
+        np.testing.assert_array_equal(clone.labels, snapshot.labels)
+        assert clone.tau == snapshot.tau
+        assert clone.predict_many(QUERIES.astype(dtype)).tolist() == (
+            snapshot.predict_many(QUERIES.astype(dtype)).tolist()
+        )
+
+    def test_hydration_is_zero_copy(self):
+        snapshot = numeric_snapshot()
+        header, arrays = snapshot_to_buffers(snapshot)
+        backing = {name: bytearray(array.tobytes()) for name, array in arrays.items()}
+        clone = snapshot_from_buffers(header, backing)
+        for name in header["arrays"]:
+            array = getattr(clone, name) if name != "coverage" else clone.coverage
+            view = np.frombuffer(backing[name], dtype=array.dtype)
+            assert not array.flags.writeable
+            assert np.shares_memory(array, view), name
+
+    def test_copy_true_detaches_from_buffers(self):
+        snapshot = numeric_snapshot()
+        header, arrays = snapshot_to_buffers(snapshot)
+        backing = {name: bytearray(array.tobytes()) for name, array in arrays.items()}
+        clone = snapshot_from_buffers(header, backing, copy=True)
+        seeds_before = clone.seeds.copy()
+        backing["seeds"][:8] = b"\xff" * 8  # scribble over the buffer
+        np.testing.assert_array_equal(clone.seeds, seeds_before)
+
+    def test_assemble_refuses_writable_arrays(self):
+        snapshot = numeric_snapshot()
+        with pytest.raises(ValueError, match="read-only"):
+            ClusterSnapshot._assemble(
+                version=1,
+                time=0.0,
+                n_points=0,
+                algorithm="x",
+                outlier_label=-1,
+                tau=0.0,
+                coverage=1.0,
+                stable_ids={},
+                metadata={},
+                seeds=np.zeros((2, 2)),  # writable: must be rejected
+                cell_ids=snapshot.cell_ids,
+                labels=snapshot.labels,
+                densities=snapshot.densities,
+            )
