@@ -87,6 +87,10 @@ class BatchIngestor:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.model = model
         self.batch_size = batch_size
+        #: Cells created with revived sketch density in the current chunk
+        #: (bounded-memory mode only); checked for activation at the chunk
+        #: boundary.
+        self._revived: List[int] = []
 
     # ------------------------------------------------------------------ #
     # public API
@@ -230,8 +234,29 @@ class BatchIngestor:
         model._n_points += len(chunk_values)
         model._now = float(chunk_times[-1])
 
+        if model._bounded is not None:
+            # Evict ahead of the chunk's worst-case allocation (every point
+            # seeding a cell) so store membership never changes between the
+            # assignment scan and the absorption pass.
+            model._bounded.ensure_headroom(len(chunk_values), float(chunk_times[0]))
+        self._revived.clear()
+
         groups = self._assign_chunk(chunk_values, chunk_times, labels, start, assigned)
         dirty = self._apply_absorptions(groups, chunk_times, labels, start)
+
+        if self._revived and model._initialized:
+            # Revived cells can come back above the active threshold without
+            # absorbing another point; the sequential path activates them at
+            # creation, the batch path at its usual chunk boundary.
+            now = float(chunk_times[-1])
+            threshold = model.active_threshold(now)
+            for cell_id in self._revived:
+                if cell_id not in model.reservoir:
+                    continue  # already activated by an absorption crossing
+                cell = model.reservoir.get(cell_id)
+                if cell.density_at(now, model.decay) >= threshold:
+                    model._activate_cell(cell_id, now)
+
         if model._initialized and dirty:
             started = _time.perf_counter()
             self._repair_dependencies(dirty, float(chunk_times[-1]))
@@ -338,16 +363,23 @@ class BatchIngestor:
                 else:
                     candidates = np.flatnonzero(outside)
                 candidate_rows: Optional[np.ndarray] = None
+                bounded = model._bounded
                 for row, j in enumerate(candidates.tolist()):
                     if fresh_best[j] <= radius:
                         continue  # absorbed by a seed created earlier in the chunk
+                    seed = tuple(float(v) for v in chunk_values[j])
+                    density = 1.0
+                    if bounded is not None:
+                        density += bounded.revival_density(seed, float(chunk_times[j]))
                     cell = model._cells.create(
-                        tuple(float(v) for v in chunk_values[j]),
-                        density=1.0,
+                        seed,
+                        density=density,
                         created_at=float(chunk_times[j]),
                         last_update=float(chunk_times[j]),
                         last_absorb=float(chunk_times[j]),
                     )
+                    if density > 1.0:
+                        self._revived.append(cell.cell_id)
                     label = labels[offset + j]
                     if label is not None:
                         cell.label_votes[label] = 1

@@ -149,6 +149,24 @@ class CellStore:
             self._seed_cache = gathered
         return self._seed_cache
 
+    def memory_footprint(self) -> int:
+        """Bytes held by the store's own position bookkeeping.
+
+        Covers the slot array, the id list and position map entries, and
+        whichever query caches are currently materialised.  Cell state
+        itself lives in the shared arena (see
+        :meth:`CellArrays.nbytes <repro.core.soa.CellArrays.nbytes>`), so
+        the two never double-count.
+        """
+        total = int(self._slots.nbytes)
+        # dict entry + list slot + two small ints, per member (estimate).
+        total += self._size * 120
+        if self._ids_cache is not None:
+            total += int(self._ids_cache.nbytes)
+        if self._seed_cache is not None:
+            total += int(self._seed_cache.nbytes)
+        return total
+
     # ------------------------------------------------------------------ #
     # membership
     # ------------------------------------------------------------------ #

@@ -104,6 +104,37 @@ class EDMStream(StreamClusterer):
             numeric=self._numeric, metric=self._metric, arrays=self._cells
         )
 
+        # Bounded-memory tier (docs/ARCHITECTURE.md "Bounded-memory tier").
+        # Constructed only when a cap is configured, so the default build
+        # takes none of these code paths and stays bit-identical.
+        self._bounded: Optional[Any] = None
+        if config.memory_cap_bytes is not None:
+            if not self._numeric:
+                raise ValueError(
+                    "memory_cap_bytes requires a numeric metric (grid keys "
+                    f"quantise seed coordinates); metric={config.metric!r}"
+                )
+            from repro.sketch import BoundedCellStore, SketchTier
+
+            tier = SketchTier.auto_sized(
+                decay=self.decay,
+                radius=config.radius,
+                memory_cap_bytes=config.memory_cap_bytes,
+                cms_width=config.sketch_width,
+                cms_depth=config.sketch_depth,
+                bloom_capacity=config.sketch_bloom_capacity,
+                bloom_error_rate=config.sketch_bloom_error_rate,
+                revive_min=config.sketch_revive_min,
+            )
+            self._bounded = BoundedCellStore(
+                arena=self._cells,
+                active=self._active,
+                inactive=self._inactive,
+                reservoir=self.reservoir,
+                tier=tier,
+                memory_cap_bytes=config.memory_cap_bytes,
+            )
+
         self._tau: Optional[float] = config.tau
         self._now: float = 0.0
         self._start_time: Optional[float] = None
@@ -352,6 +383,10 @@ class EDMStream(StreamClusterer):
                 "evolution": self.evolution.counts(),
             },
         )
+        if self._bounded is not None:
+            # Sketch-tier accounting; hot (active) cells in the snapshot
+            # stay exact — only the cold tail is approximate.
+            view.metadata["memory"] = self._bounded.stats()
         if len(self.tree) == 0:
             return view
         tau = self._effective_tau()
@@ -403,7 +438,7 @@ class EDMStream(StreamClusterer):
 
     def summary(self) -> Dict[str, Any]:
         """A snapshot of the main state variables, for logging and reports."""
-        return {
+        summary = {
             "points": self._n_points,
             "time": self._now,
             "active_cells": self.n_active_cells,
@@ -415,6 +450,28 @@ class EDMStream(StreamClusterer):
             "filter_stats": self.filter.stats.as_dict(),
             "dependency_update_seconds": self.dependency_update_seconds,
         }
+        if self._bounded is not None:
+            summary["memory"] = self._bounded.stats()
+        return summary
+
+    @property
+    def bounded_store(self) -> Optional[Any]:
+        """The bounded-memory tier, or ``None`` when no cap is configured."""
+        return self._bounded
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Byte accounting of the cell state, by component (see the tier docs).
+
+        Available in both modes: in exact (uncapped) mode the ``sketch``
+        component is zero; in bounded mode the total is what the cap is
+        enforced against.
+        """
+        from repro.sketch.bounded import cell_state_footprint
+
+        sketch_bytes = 0 if self._bounded is None else self._bounded.tier.nbytes()
+        return cell_state_footprint(
+            self._cells, self._active, self._inactive, sketch_bytes=sketch_bytes
+        )
 
     # ------------------------------------------------------------------ #
     # internals: assignment
@@ -482,9 +539,16 @@ class EDMStream(StreamClusterer):
         return best_id, best_distance, best_in_tree
 
     def _create_cell(self, point: Any, now: float, label: Optional[int]) -> int:
+        density = 1.0
+        if self._bounded is not None:
+            # Evict before allocating so the arena never doubles past the
+            # cap, and revive the neighborhood's sketched density if this
+            # point re-enters a region whose cells were evicted.
+            self._bounded.ensure_headroom(1, now)
+            density += self._bounded.revival_density(point, now)
         cell = self._cells.create(
             point,
-            density=1.0,
+            density=density,
             created_at=now,
             last_update=now,
             last_absorb=now,
@@ -493,7 +557,17 @@ class EDMStream(StreamClusterer):
             cell.label_votes[label] = 1
         self.reservoir.add(cell)
         self._inactive.add(cell)
-        return cell.cell_id
+        cell_id = cell.cell_id
+        if (
+            self._bounded is not None
+            and self._initialized
+            and density >= self.active_threshold(now)
+        ):
+            # A revived cell can come back above the active threshold; give
+            # it back its place in the DP-Tree immediately, mirroring the
+            # activation check of `_absorb_inactive`.
+            self._activate_cell(cell_id, now)
+        return cell_id
 
     def _absorb_inactive(self, cell_id: int, now: float, label: Optional[int]) -> None:
         cell = self.reservoir.get(cell_id)
@@ -816,6 +890,8 @@ class EDMStream(StreamClusterer):
             # The cell is gone for good: recycle its arena slot so
             # steady-state ingestion allocates nothing new.
             self._cells.release(cell_id)
+        if self._bounded is not None:
+            self._bounded.enforce(now)
         self.reservoir_size_history.append((now, len(self.reservoir)))
 
     def _tau_deltas(self, now: float) -> List[float]:

@@ -7,108 +7,69 @@ Usage::
     python -m repro run fig15 --output results/fig15.txt
 
 Every experiment id corresponds to one table or figure of the paper (see
-DESIGN.md); ``run`` executes the driver and prints (or writes) the rendered
-tables and series.
+DESIGN.md) or one of the repo's extensions (``serve``, ``memory``); ``run``
+executes the driver and prints (or writes) the rendered tables and series.
+
+The id table is *generated* from :mod:`repro.harness.registry` — the CLI
+holds no experiment list of its own, so drivers registered there appear in
+``list`` and ``run`` automatically.  ``EXPERIMENTS`` is kept as a mapping
+of ``id -> (description, factory)`` for backwards compatibility.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from repro.harness import ablations, experiments, scenarios
+from repro.harness import registry
 from repro.harness.results import ExperimentResult
 
+
+class _RegistryView(Dict[str, Tuple[str, Callable[[Optional[int]], ExperimentResult]]]):
+    """Lazy dict view of the registry in the legacy ``(description, factory)`` shape.
+
+    Materialising the registry imports every driver module, so the view
+    fills itself on first access instead of at import time.
+    """
+
+    def _materialise(self) -> None:
+        if not dict.__len__(self):
+            for experiment_id, spec in registry.all_experiments().items():
+                dict.__setitem__(self, experiment_id, (spec.description, spec.factory))
+
+    def __getitem__(self, key: str):  # noqa: D105
+        self._materialise()
+        return dict.__getitem__(self, key)
+
+    def __contains__(self, key: object) -> bool:  # noqa: D105
+        self._materialise()
+        return dict.__contains__(self, key)
+
+    def __iter__(self):  # noqa: D105
+        self._materialise()
+        return dict.__iter__(self)
+
+    def __len__(self) -> int:  # noqa: D105
+        self._materialise()
+        return dict.__len__(self)
+
+    def keys(self):  # noqa: D102
+        self._materialise()
+        return dict.keys(self)
+
+    def items(self):  # noqa: D102
+        self._materialise()
+        return dict.items(self)
+
+    def values(self):  # noqa: D102
+        self._materialise()
+        return dict.values(self)
+
+
 #: Experiment id -> (description, driver factory taking an optional point budget).
-EXPERIMENTS: Dict[str, tuple] = {
-    "table2": (
-        "Table 2 — dataset inventory",
-        lambda points: experiments.experiment_table2(surrogate_points=points or 2000),
-    ),
-    "fig7": (
-        "Figures 6-7 — SDS cluster evolution",
-        lambda points: scenarios.experiment_evolution_sds(n_points=points or 20000),
-    ),
-    "fig8": (
-        "Figure 8 / Table 3 — news-stream topic evolution",
-        lambda points: scenarios.experiment_news_evolution(n_points=points or 8000),
-    ),
-    "fig9": (
-        "Figure 9 — response time vs stream length",
-        lambda points: experiments.experiment_response_time(n_points=points or 10000),
-    ),
-    "fig10": (
-        "Figure 10 — throughput",
-        lambda points: experiments.experiment_throughput(n_points=points or 10000),
-    ),
-    "fig10_batch": (
-        "Figure 10 extension — micro-batch vs sequential ingestion throughput",
-        lambda points: experiments.experiment_batch_throughput(n_points=points or 16000),
-    ),
-    "query": (
-        "Serving extension — snapshot predict_many vs per-point query loop",
-        lambda points: experiments.experiment_query_throughput(n_points=points or 16000),
-    ),
-    "serve": (
-        "Serving tier — shared-memory snapshot fan-out QPS/latency vs workers",
-        lambda points: experiments.experiment_serving(n_points=points or 4000),
-    ),
-    "fig11": (
-        "Figure 11 — dependency-update filtering ablation",
-        lambda points: experiments.experiment_filtering(n_points=points or 20000),
-    ),
-    "fig12": (
-        "Figure 12 — response time vs dimensionality",
-        lambda points: experiments.experiment_dimensions(n_points=points or 5000),
-    ),
-    "fig13": (
-        "Figure 13 — cluster quality (CMM)",
-        lambda points: experiments.experiment_quality(n_points=points or 10000),
-    ),
-    "fig14": (
-        "Figure 14 — cluster quality vs stream rate",
-        lambda points: experiments.experiment_stream_rate(n_points=points or 10000),
-    ),
-    "fig15": (
-        "Figure 15 / Table 4 — dynamic vs static tau",
-        lambda points: scenarios.experiment_adaptive_tau(n_points=points or 20000),
-    ),
-    "fig16": (
-        "Figure 16 — outlier reservoir size",
-        lambda points: experiments.experiment_reservoir(n_points=points or 10000),
-    ),
-    "fig17": (
-        "Figure 17 — effect of the cluster-cell radius",
-        lambda points: experiments.experiment_radius(n_points=points or 10000),
-    ),
-    "ablation": (
-        "Ablation — incremental DP-Tree vs periodic batch DP",
-        lambda points: experiments.experiment_dptree_ablation(n_points=points or 10000),
-    ),
-    "ablation_decay": (
-        "Ablation — decay half-life vs recovery from abrupt drift",
-        lambda points: ablations.experiment_decay_ablation(n_points=points or 8000),
-    ),
-    "ablation_beta": (
-        "Ablation — active-threshold multiplier beta",
-        lambda points: ablations.experiment_beta_ablation(n_points=points or 8000),
-    ),
-    "ablation_index": (
-        "Ablation — nearest-seed index comparison",
-        lambda points: ablations.experiment_index_ablation(
-            n_queries=points or 2000
-        ),
-    ),
-    "ablation_tracking": (
-        "Ablation — online evolution tracking vs offline MONIC / MEC",
-        lambda points: ablations.experiment_tracking_comparison(n_points=points or 12000),
-    ),
-    "ablation_cftree": (
-        "Ablation — CF-Tree (BIRCH) vs DP-Tree (EDMStream) under drift",
-        lambda points: ablations.experiment_cftree_vs_dptree(n_points=points or 8000),
-    ),
-}
+#: Derived from :mod:`repro.harness.registry`; do not add entries here.
+EXPERIMENTS = _RegistryView()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,7 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list the available experiments")
 
     run = subparsers.add_parser("run", help="run one experiment and print its report")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS), help="experiment id"
+    )
     run.add_argument(
         "--points",
         type=int,
@@ -140,11 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def run_experiment(experiment_id: str, points: Optional[int] = None) -> ExperimentResult:
     """Execute one experiment driver by id."""
-    if experiment_id not in EXPERIMENTS:
-        known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
-    _, factory = EXPERIMENTS[experiment_id]
-    return factory(points)
+    return registry.get_experiment(experiment_id).run(points)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -153,9 +112,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for experiment_id in sorted(EXPERIMENTS):
-            description, _ = EXPERIMENTS[experiment_id]
-            print(f"{experiment_id:<10s} {description}")
+        width = max(len(eid) for eid in EXPERIMENTS) + 1
+        for experiment_id, spec in registry.all_experiments().items():
+            print(f"{experiment_id:<{width}s} {spec.description}")
         return 0
 
     result = run_experiment(args.experiment, points=args.points)

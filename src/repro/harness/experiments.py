@@ -351,6 +351,8 @@ def experiment_batch_throughput(
                     "speedup_vs_sequential": round(timings["sequential"] / elapsed, 3),
                     "clusters": model.n_clusters,
                     "active_cells": model.n_active_cells,
+                    "cell_state_bytes": model.memory_footprint()["total"],
+                    "arena_bytes": model._cells.nbytes(),
                 }
             )
         series = SeriesResult(
@@ -928,4 +930,214 @@ def experiment_dptree_ablation(
             }
         )
     result.add_table("summary", rows)
+    return result
+
+
+def _memory_stream(dataset: str, n_points: int, seed: int = 7) -> Tuple[DataStream, float]:
+    """Workloads of the bounded-memory experiment: SDS, HDS, gradual drift.
+
+    Every workload carries background noise: sparse outlier cells are the
+    cold mass the bounded tier exists to evict, and a noiseless mixture
+    has no cold tail for a cap to reclaim.
+    """
+    if dataset == "SDS":
+        stream = SDSGenerator(
+            n_points=n_points, rate=1000.0, noise_fraction=0.05, seed=seed
+        ).generate()
+        return stream, 0.3
+    if dataset.startswith("HDS"):
+        dimension = int(dataset.split("-")[1].rstrip("d")) if "-" in dataset else 10
+        # center_spread of ~10 grid boxes keeps the clusters separated at the
+        # paper radius (the default spread of one box merges them all), so the
+        # footprint splits into a hot cluster core plus an evictable noise tail.
+        stream = HDSGenerator(
+            dimension=dimension,
+            n_points=n_points,
+            noise_fraction=0.05,
+            center_spread=10.0 * HDSGenerator.paper_radius(dimension),
+            seed=seed,
+        ).generate()
+        return stream, HDSGenerator.paper_radius(dimension)
+    if dataset == "Drift":
+        from repro.streams.drift import GaussianMixture, gradual_drift_stream
+        from repro.streams.point import StreamPoint
+
+        before = GaussianMixture(
+            centers=((0.0, 0.0), (4.0, 4.0), (0.0, 4.0)), std=0.3, labels=(0, 1, 2)
+        )
+        after = GaussianMixture(
+            centers=((8.0, 8.0), (4.0, -4.0), (8.0, 0.0)), std=0.3, labels=(3, 4, 5)
+        )
+        stream = gradual_drift_stream(
+            before, after, n_points=n_points, rate=1000.0, seed=seed
+        )
+        rng = np.random.default_rng(seed + 1)
+        points = [
+            StreamPoint(
+                values=tuple(rng.uniform(-6.0, 12.0, size=2)),
+                timestamp=point.timestamp,
+                label=None,
+                point_id=point.point_id,
+            )
+            if rng.random() < 0.05
+            else point
+            for point in stream.points
+        ]
+        return DataStream(points, name=stream.name, rate=stream.rate), 0.3
+    return make_real_stream(dataset, n_points), None  # radius chosen by caller
+
+
+def _run_memory_mode(
+    model: EDMStream,
+    stream: DataStream,
+    batch_size: int,
+    eval_every: int,
+    quality_window: int,
+) -> Dict[str, Any]:
+    """Ingest a stream in eval-sized chunks, scoring quality on trailing windows.
+
+    Returns the run's peak cell-state footprint (tier-sampled in bounded
+    mode, chunk-sampled in exact mode), mean CMM / purity over the
+    evaluation windows, wall-clock, and the sketch-tier counters.
+    """
+    import time as _time
+
+    from repro.evaluation.cmm import CMM
+    from repro.evaluation.external import purity
+
+    cmm = CMM(outlier_label=model.outlier_label)
+    cmm_values: List[float] = []
+    purity_values: List[float] = []
+    peak = 0
+    started = _time.perf_counter()
+    for start in range(0, len(stream), eval_every):
+        chunk = stream.points[start : start + eval_every]
+        model.learn_many(chunk, batch_size=batch_size)
+        peak = max(peak, model.memory_footprint()["total"])
+        labelled = [p for p in chunk[-quality_window:] if p.label is not None]
+        if not labelled:
+            continue
+        truths = [p.label for p in labelled]
+        predicted = [int(label) for label in model.predict_many([p.values for p in labelled])]
+        purity_values.append(purity(truths, predicted))
+        cmm_values.append(
+            cmm.evaluate(
+                [p.as_tuple() for p in labelled],
+                truths,
+                predicted,
+                [p.timestamp for p in labelled],
+            ).value
+        )
+    elapsed = _time.perf_counter() - started
+    bounded = model.bounded_store
+    if bounded is not None:
+        peak = max(peak, bounded.peak_bytes)
+    run: Dict[str, Any] = {
+        "peak_bytes": peak,
+        "cmm": sum(cmm_values) / max(1, len(cmm_values)),
+        "purity": sum(purity_values) / max(1, len(purity_values)),
+        "cmm_series": cmm_values,
+        "elapsed_s": elapsed,
+        "clusters": model.n_clusters,
+    }
+    if bounded is not None:
+        run.update(bounded.stats())
+    return run
+
+
+def experiment_memory(
+    datasets: Sequence[str] = ("SDS", "Drift", "HDS-10d"),
+    n_points: int = 50_000,
+    cap_fraction: float = 0.5,
+    batch_size: int = 256,
+    eval_every: int = 10_000,
+    quality_window: int = 500,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Bounded-memory tier: bytes/point and quality degradation vs exact mode.
+
+    Each workload is ingested twice through identical configurations: once
+    unbounded (exact mode) to establish the peak cell-state footprint and
+    reference quality, then again with ``memory_cap_bytes`` set to
+    ``cap_fraction`` of that peak, forcing the sketch tier to evict the
+    cold tail.  The capped rows report the peak footprint against the cap,
+    bytes/point, eviction/revival counters, and CMM/purity deltas vs the
+    exact run — the degradation the approximate tier trades for the
+    memory bound.  Emitted to ``BENCH_memory.json`` by
+    ``benchmarks/bench_memory.py`` and gated in CI.
+    """
+    result = ExperimentResult(
+        experiment_id="memory",
+        description="Bounded-memory tier: peak bytes and quality vs exact mode",
+    )
+    rows = []
+    for dataset in datasets:
+        stream, radius = _memory_stream(dataset, n_points, seed=seed)
+        if radius is None:
+            radius = choose_radius(stream)
+
+        exact = EDMStream(radius=radius, beta=0.0021, stream_rate=stream.rate)
+        exact_run = _run_memory_mode(exact, stream, batch_size, eval_every, quality_window)
+        cap = max(int(exact_run["peak_bytes"] * cap_fraction), 32_768)
+        capped = EDMStream(
+            radius=radius,
+            beta=0.0021,
+            stream_rate=stream.rate,
+            memory_cap_bytes=cap,
+        )
+        capped_run = _run_memory_mode(capped, stream, batch_size, eval_every, quality_window)
+
+        def _drop(metric: str) -> float:
+            reference = exact_run[metric]
+            if reference <= 0:
+                return 0.0
+            return max(0.0, (reference - capped_run[metric]) / reference)
+
+        rows.append(
+            {
+                "dataset": dataset,
+                "mode": "exact",
+                "peak_cell_state_bytes": exact_run["peak_bytes"],
+                "bytes_per_point": round(exact_run["peak_bytes"] / len(stream), 2),
+                "cmm": round(exact_run["cmm"], 4),
+                "purity": round(exact_run["purity"], 4),
+                "clusters": exact_run["clusters"],
+                "elapsed_s": round(exact_run["elapsed_s"], 3),
+            }
+        )
+        rows.append(
+            {
+                "dataset": dataset,
+                "mode": "capped",
+                "memory_cap_bytes": cap,
+                "peak_cell_state_bytes": capped_run["peak_bytes"],
+                "under_cap": capped_run["peak_bytes"] <= cap,
+                "bytes_per_point": round(capped_run["peak_bytes"] / len(stream), 2),
+                "cmm": round(capped_run["cmm"], 4),
+                "purity": round(capped_run["purity"], 4),
+                "cmm_drop": round(_drop("cmm"), 4),
+                "purity_drop": round(_drop("purity"), 4),
+                "evictions": capped_run["evictions"],
+                "revivals": capped_run["revivals"],
+                "cap_overflows": capped_run["cap_overflows"],
+                "clusters": capped_run["clusters"],
+                "elapsed_s": round(capped_run["elapsed_s"], 3),
+            }
+        )
+        for mode, run in (("exact", exact_run), ("capped", capped_run)):
+            if run["cmm_series"]:
+                result.add_series(
+                    f"{dataset}/{mode}",
+                    SeriesResult(
+                        name=f"{dataset}/{mode}",
+                        x=list(range(1, len(run["cmm_series"]) + 1)),
+                        y=run["cmm_series"],
+                        x_label="evaluation window",
+                        y_label="CMM",
+                    ),
+                )
+    result.add_table("summary", rows)
+    result.metadata["n_points"] = n_points
+    result.metadata["cap_fraction"] = cap_fraction
+    result.metadata["batch_size"] = batch_size
     return result

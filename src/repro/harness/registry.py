@@ -1,0 +1,189 @@
+"""The experiment registry: one table every harness surface derives from.
+
+Historically ``repro.harness.cli`` kept its own hard-coded id -> driver
+table, which silently drifted from the drivers as experiments were added
+(the ``serve`` and ``memory`` ids both landed as follow-up patches).  The
+registry is now the single source of truth: the CLI's ``list`` output,
+its ``run`` choices, and any programmatic lookup all derive from
+:func:`all_experiments`, so a driver registered here is automatically
+everywhere.
+
+Registration is declarative — the table below names every experiment
+with its description and default point budget; drivers are looked up
+lazily so importing the registry stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.harness.results import ExperimentResult
+
+__all__ = ["ExperimentSpec", "all_experiments", "get_experiment", "register"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: id, human description, driver factory."""
+
+    experiment_id: str
+    description: str
+    #: Callable taking the (optional) point budget; ``None`` means the
+    #: driver's own default.
+    factory: Callable[[Optional[int]], ExperimentResult]
+
+    def run(self, points: Optional[int] = None) -> ExperimentResult:
+        """Execute the driver with an optional point-budget override."""
+        return self.factory(points)
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(
+    experiment_id: str,
+    description: str,
+    factory: Callable[[Optional[int]], ExperimentResult],
+) -> ExperimentSpec:
+    """Add (or replace) one experiment in the registry."""
+    spec = ExperimentSpec(experiment_id, description, factory)
+    _REGISTRY[experiment_id] = spec
+    return spec
+
+
+def all_experiments() -> Dict[str, ExperimentSpec]:
+    """Every registered experiment, id -> spec (a copy, sorted by id)."""
+    _ensure_defaults()
+    return {key: _REGISTRY[key] for key in sorted(_REGISTRY)}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment; raises ``KeyError`` with the known ids."""
+    _ensure_defaults()
+    if experiment_id not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[experiment_id]
+
+
+def _ensure_defaults() -> None:
+    """Populate the registry with the built-in drivers (idempotent)."""
+    if _REGISTRY:
+        return
+    from repro.harness import ablations, experiments, scenarios
+
+    defaults = [
+        (
+            "table2",
+            "Table 2 — dataset inventory",
+            lambda points: experiments.experiment_table2(surrogate_points=points or 2000),
+        ),
+        (
+            "fig7",
+            "Figures 6-7 — SDS cluster evolution",
+            lambda points: scenarios.experiment_evolution_sds(n_points=points or 20000),
+        ),
+        (
+            "fig8",
+            "Figure 8 / Table 3 — news-stream topic evolution",
+            lambda points: scenarios.experiment_news_evolution(n_points=points or 8000),
+        ),
+        (
+            "fig9",
+            "Figure 9 — response time vs stream length",
+            lambda points: experiments.experiment_response_time(n_points=points or 10000),
+        ),
+        (
+            "fig10",
+            "Figure 10 — throughput",
+            lambda points: experiments.experiment_throughput(n_points=points or 10000),
+        ),
+        (
+            "fig10_batch",
+            "Figure 10 extension — micro-batch vs sequential ingestion throughput",
+            lambda points: experiments.experiment_batch_throughput(n_points=points or 16000),
+        ),
+        (
+            "query",
+            "Serving extension — snapshot predict_many vs per-point query loop",
+            lambda points: experiments.experiment_query_throughput(n_points=points or 16000),
+        ),
+        (
+            "serve",
+            "Serving tier — shared-memory snapshot fan-out QPS/latency vs workers",
+            lambda points: experiments.experiment_serving(n_points=points or 4000),
+        ),
+        (
+            "memory",
+            "Bounded-memory tier — sketch-backed cold cells under a byte cap",
+            lambda points: experiments.experiment_memory(n_points=points or 50000),
+        ),
+        (
+            "fig11",
+            "Figure 11 — dependency-update filtering ablation",
+            lambda points: experiments.experiment_filtering(n_points=points or 20000),
+        ),
+        (
+            "fig12",
+            "Figure 12 — response time vs dimensionality",
+            lambda points: experiments.experiment_dimensions(n_points=points or 5000),
+        ),
+        (
+            "fig13",
+            "Figure 13 — cluster quality (CMM)",
+            lambda points: experiments.experiment_quality(n_points=points or 10000),
+        ),
+        (
+            "fig14",
+            "Figure 14 — cluster quality vs stream rate",
+            lambda points: experiments.experiment_stream_rate(n_points=points or 10000),
+        ),
+        (
+            "fig15",
+            "Figure 15 / Table 4 — dynamic vs static tau",
+            lambda points: scenarios.experiment_adaptive_tau(n_points=points or 20000),
+        ),
+        (
+            "fig16",
+            "Figure 16 — outlier reservoir size",
+            lambda points: experiments.experiment_reservoir(n_points=points or 10000),
+        ),
+        (
+            "fig17",
+            "Figure 17 — effect of the cluster-cell radius",
+            lambda points: experiments.experiment_radius(n_points=points or 10000),
+        ),
+        (
+            "ablation",
+            "Ablation — incremental DP-Tree vs periodic batch DP",
+            lambda points: experiments.experiment_dptree_ablation(n_points=points or 10000),
+        ),
+        (
+            "ablation_decay",
+            "Ablation — decay half-life vs recovery from abrupt drift",
+            lambda points: ablations.experiment_decay_ablation(n_points=points or 8000),
+        ),
+        (
+            "ablation_beta",
+            "Ablation — active-threshold multiplier beta",
+            lambda points: ablations.experiment_beta_ablation(n_points=points or 8000),
+        ),
+        (
+            "ablation_index",
+            "Ablation — nearest-seed index comparison",
+            lambda points: ablations.experiment_index_ablation(n_queries=points or 2000),
+        ),
+        (
+            "ablation_tracking",
+            "Ablation — online evolution tracking vs offline MONIC / MEC",
+            lambda points: ablations.experiment_tracking_comparison(n_points=points or 12000),
+        ),
+        (
+            "ablation_cftree",
+            "Ablation — CF-Tree (BIRCH) vs DP-Tree (EDMStream) under drift",
+            lambda points: ablations.experiment_cftree_vs_dptree(n_points=points or 8000),
+        ),
+    ]
+    for experiment_id, description, factory in defaults:
+        register(experiment_id, description, factory)

@@ -59,7 +59,11 @@ class ServingCluster:
         self._stop = _CTX.Event()
         self._ingested = _CTX.Value("Q", 0)
         self._closed = False
-        self.counters: Dict[str, Any] = {"publisher_restarts": 0, "crash_cleanups": 0}
+        self.counters: Dict[str, Any] = {
+            "publisher_restarts": 0,
+            "crash_cleanups": 0,
+            "worker_restarts": 0,
+        }
 
         from repro.serving.publisher import run_ingest_publisher
 
@@ -79,16 +83,20 @@ class ServingCluster:
 
         self._workers: List[Tuple[Any, Any]] = []  # (process, parent_conn)
         for _ in range(n_workers):
-            parent_conn, child_conn = _CTX.Pipe(duplex=True)
-            proc = _CTX.Process(
-                target=run_worker,
-                args=(self.token, child_conn),
-                kwargs={"nice": worker_nice},
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._workers.append((proc, parent_conn))
+            self._workers.append(self._spawn_worker())
+
+    def _spawn_worker(self) -> Tuple[Any, Any]:
+        """Start one query worker on this cluster's token; returns (proc, conn)."""
+        parent_conn, child_conn = _CTX.Pipe(duplex=True)
+        proc = _CTX.Process(
+            target=run_worker,
+            args=(self.token, child_conn),
+            kwargs={"nice": self._worker_nice},
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
 
     # ------------------------------------------------------------------ #
     @property
@@ -145,11 +153,15 @@ class ServingCluster:
         return reply[1]
 
     def health_check(self) -> Dict[str, Any]:
-        """Liveness of every process; cleans up segments on publisher death.
+        """Liveness of every process; repairs what it can in passing.
 
         A dead publisher is the one crash the kernel cannot tidy for us —
         its segments would outlive it — so noticing it here immediately
-        unlinks everything under the cluster's token.
+        unlinks everything under the cluster's token.  A dead query worker
+        is recoverable: workers are stateless readers of the token's
+        segments, so the check respawns a replacement on the same token
+        (fresh pipe, fresh handshake) and bumps ``worker_restarts``; the
+        entry reports ``restarted: True`` and the new worker's counters.
         """
         publisher_alive = self._publisher.is_alive()
         if not publisher_alive and not self._closed:
@@ -157,7 +169,7 @@ class ServingCluster:
             if removed:
                 self.counters["crash_cleanups"] += 1
         workers = []
-        for index, (proc, _) in enumerate(self._workers):
+        for index, (proc, conn) in enumerate(self._workers):
             alive = proc.is_alive()
             entry: Dict[str, Any] = {"worker": index, "alive": alive}
             if alive:
@@ -166,6 +178,15 @@ class ServingCluster:
                 except (TimeoutError, RuntimeError) as exc:
                     entry["alive"] = False
                     entry["error"] = str(exc)
+            if not entry["alive"] and publisher_alive and not self._closed:
+                self._restart_worker(index)
+                entry["restarted"] = True
+                self.counters["worker_restarts"] += 1
+                try:
+                    entry.update(self.ping(index))
+                    entry["alive"] = True
+                except (TimeoutError, RuntimeError) as exc:  # pragma: no cover
+                    entry["error"] = str(exc)
             workers.append(entry)
         return {
             "token": self.token,
@@ -173,6 +194,18 @@ class ServingCluster:
             "points_ingested": self.points_ingested,
             "workers": workers,
         }
+
+    def _restart_worker(self, index: int) -> None:
+        """Replace a dead worker in place: reap it, respawn on the same token."""
+        proc, conn = self._workers[index]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(2.0)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        self._workers[index] = self._spawn_worker()
 
     def summary(self) -> Dict[str, Any]:
         """Merged cluster counters: ingest progress + per-worker counters."""

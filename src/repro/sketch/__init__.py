@@ -1,0 +1,28 @@
+"""Probabilistic summaries backing the bounded-memory tier.
+
+The package keeps EDMStream's cell state under a hard byte budget by
+degrading cold cells to approximate counters instead of deleting them:
+
+* :class:`~repro.sketch.cms.DecayedCountMinSketch` — conservative
+  count-min counters with the stream's exponential decay applied lazily
+  via per-counter timestamps.
+* :class:`~repro.sketch.bloom.BloomFilter` — "have we ever seen this
+  neighborhood" membership summary gating revival.
+* :class:`~repro.sketch.bounded.SketchTier` /
+  :class:`~repro.sketch.bounded.BoundedCellStore` — grid-keyed eviction
+  of the coldest inactive cells into the sketch and revival of
+  re-arriving neighborhoods, enforcing ``EDMStream(memory_cap_bytes=…)``.
+"""
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.bounded import BoundedCellStore, SketchTier, cell_state_footprint
+from repro.sketch.cms import DecayedCountMinSketch, stable_key_hash
+
+__all__ = [
+    "BloomFilter",
+    "BoundedCellStore",
+    "DecayedCountMinSketch",
+    "SketchTier",
+    "cell_state_footprint",
+    "stable_key_hash",
+]

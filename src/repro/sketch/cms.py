@@ -1,0 +1,180 @@
+"""Conservative count-min sketch with decay folded in by lazy aging.
+
+The bounded-memory tier (:mod:`repro.sketch.bounded`) degrades cold
+cluster-cells to *approximate* density counters instead of deleting them.
+:class:`DecayedCountMinSketch` is that counter store: a fixed ``(depth,
+width)`` grid of float counters where every counter carries the timestamp
+of its last write, so the exponential decay of Equation 3 is applied
+lazily on read — exactly the scheme the live cells use for their density
+column, transplanted onto shared counters.
+
+Two write operations are provided:
+
+* :meth:`fold` — the eviction path.  A cold cell's *absolute* decayed
+  density is folded in with a conservative ``max``: each of the ``depth``
+  counters becomes ``max(aged counter, value)``.  ``max`` (rather than
+  ``+=``) is what makes evict → revive → evict cycles idempotent: a cell
+  revived from the sketch already carries the sketch's contribution in its
+  exact density, so folding it back must not double-count.
+* :meth:`add` — a plain conservative-update increment (Estan & Varghese),
+  used where the sketch is fed per-event counts rather than absolute
+  densities.
+
+:meth:`estimate` answers with the row-wise minimum of the aged counters —
+the classic CMS guarantee (never an under-estimate of what was folded,
+over-estimates only on hash collisions) carried through decay, because
+aging is monotone and applied identically to every row.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+import numpy as np
+
+from repro.core.decay import DecayModel
+
+__all__ = ["DecayedCountMinSketch"]
+
+#: SplitMix64 increment; the de-facto standard 64-bit mixing constant.
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+def _mix(value: int) -> int:
+    """SplitMix64 finalizer: avalanche a 64-bit integer."""
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK
+    return value ^ (value >> 31)
+
+
+def stable_key_hash(key: Hashable) -> int:
+    """A process-stable 64-bit hash of a grid key.
+
+    Grid keys are tuples of integers (quantised seed coordinates), which
+    python hashes deterministically — but the tuple hash is weak for
+    regular lattices, so every component is passed through a SplitMix64
+    finalizer and chain-mixed.  Integer components feed their value in
+    directly rather than through ``hash()``, whose CPython quirk
+    ``hash(-1) == -2`` would alias adjacent grid lines.  Non-tuple keys
+    fall back to ``hash()``.
+    """
+    if isinstance(key, tuple):
+        state = _GOLDEN
+        for part in key:
+            component = part if isinstance(part, int) else hash(part)
+            state = _mix((state + (component & _MASK) + _GOLDEN) & _MASK)
+        return state
+    return _mix(hash(key) & _MASK)
+
+
+class DecayedCountMinSketch:
+    """A count-min sketch whose counters age by exponential decay.
+
+    Parameters
+    ----------
+    width:
+        Number of counters per row.  Collision error scales with the
+        total mass divided by ``width``.
+    depth:
+        Number of independent rows (hash functions); the estimate is the
+        row-wise minimum.
+    decay:
+        The :class:`~repro.core.decay.DecayModel` shared with the live
+        cells, so sketched densities age at exactly the rate exact
+        densities do.
+    seed:
+        Seed of the per-row hash multipliers.
+    """
+
+    def __init__(
+        self, width: int = 4096, depth: int = 4, decay: DecayModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.decay = decay if decay is not None else DecayModel()
+        rng = np.random.default_rng(seed)
+        # Odd multipliers + offsets: depth pairwise-independent row hashes.
+        self._mul = (rng.integers(1, 1 << 62, size=depth, dtype=np.uint64) << 1) | 1
+        self._add = rng.integers(0, 1 << 63, size=depth, dtype=np.uint64)
+        self._rows = np.arange(depth)
+        self.counters = np.zeros((depth, width), dtype=np.float64)
+        self.timestamps = np.zeros((depth, width), dtype=np.float64)
+        #: Total number of fold/add writes (statistics only).
+        self.n_writes = 0
+
+    # ------------------------------------------------------------------ #
+    def _columns(self, key: Hashable) -> np.ndarray:
+        """Per-row counter columns for a key."""
+        base = np.uint64(stable_key_hash(key))
+        with np.errstate(over="ignore"):
+            mixed = base * self._mul + self._add
+        return ((mixed >> np.uint64(33)) % np.uint64(self.width)).astype(np.int64)
+
+    def _aged(self, columns: np.ndarray, now: float) -> np.ndarray:
+        """The key's counters decayed from their write times to ``now``."""
+        values = self.counters[self._rows, columns]
+        elapsed = np.maximum(0.0, now - self.timestamps[self._rows, columns])
+        return values * self.decay.rate**elapsed
+
+    # ------------------------------------------------------------------ #
+    def fold(self, key: Hashable, value: float, now: float) -> None:
+        """Fold an absolute density into the key's counters (``max`` merge).
+
+        Each counter is first aged to ``now``, then raised to ``value`` if
+        it lies below it, and re-stamped.  Folding the same (key, value)
+        twice is a no-op; folding a revived-and-regrown density replaces
+        the stale counter instead of accumulating on top of it.
+        """
+        if value < 0.0:
+            raise ValueError(f"density must be non-negative, got {value}")
+        columns = self._columns(key)
+        aged = np.maximum(self._aged(columns, now), value)
+        self.counters[self._rows, columns] = aged
+        self.timestamps[self._rows, columns] = now
+        self.n_writes += 1
+
+    def add(self, key: Hashable, amount: float, now: float) -> None:
+        """Conservative-update increment: raise counters to ``estimate + amount``."""
+        if amount < 0.0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        columns = self._columns(key)
+        aged = self._aged(columns, now)
+        target = float(aged.min()) + amount
+        self.counters[self._rows, columns] = np.maximum(aged, target)
+        self.timestamps[self._rows, columns] = now
+        self.n_writes += 1
+
+    def estimate(self, key: Hashable, now: float) -> float:
+        """The key's density estimate at ``now`` (row-wise aged minimum).
+
+        Never under-estimates the decayed value of what was folded for the
+        key; over-estimates only when all ``depth`` rows collide with
+        heavier keys.
+        """
+        return float(self._aged(self._columns(key), now).min())
+
+    # ------------------------------------------------------------------ #
+    def nbytes(self) -> int:
+        """Bytes held by the counter and timestamp grids."""
+        return int(
+            self.counters.nbytes
+            + self.timestamps.nbytes
+            + self._mul.nbytes
+            + self._add.nbytes
+        )
+
+    def load(self, now: float, floor: float = 1e-9) -> float:
+        """Fraction of first-row counters still carrying mass above ``floor``."""
+        elapsed = np.maximum(0.0, now - self.timestamps[0])
+        alive = self.counters[0] * self.decay.rate**elapsed > floor
+        return float(np.count_nonzero(alive)) / self.width
+
+    def summary(self) -> Tuple[int, int, int]:
+        """``(depth, width, n_writes)`` for reports."""
+        return self.depth, self.width, self.n_writes

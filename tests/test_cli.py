@@ -1,8 +1,36 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface and the experiment registry."""
 
 import pytest
 
+from repro.harness import registry
 from repro.harness.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestRegistry:
+    def test_cli_table_is_generated_from_the_registry(self):
+        specs = registry.all_experiments()
+        assert set(EXPERIMENTS) == set(specs)
+        for experiment_id, (description, _) in EXPERIMENTS.items():
+            assert description == specs[experiment_id].description
+
+    def test_extension_experiments_are_registered(self):
+        assert {"serve", "memory", "query", "fig10_batch"} <= set(
+            registry.all_experiments()
+        )
+
+    def test_get_experiment_unknown_id_lists_known_ids(self):
+        with pytest.raises(KeyError, match="memory"):
+            registry.get_experiment("nope")
+
+    def test_register_makes_an_experiment_runnable_everywhere(self):
+        sentinel = object()
+        registry.register("_test_tmp", "temporary", lambda points: sentinel)
+        try:
+            assert registry.get_experiment("_test_tmp").run() is sentinel
+            assert run_experiment("_test_tmp") is sentinel
+        finally:
+            registry._REGISTRY.pop("_test_tmp", None)
+            dict.pop(EXPERIMENTS, "_test_tmp", None)
 
 
 class TestParser:

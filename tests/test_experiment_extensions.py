@@ -75,3 +75,27 @@ class TestCLIRegistry:
         result = run_experiment("ablation_index", points=200)
         assert result.experiment_id == "ablation_index"
         assert "summary" in result.tables
+
+
+class TestMemoryDriver:
+    def test_memory_experiment_reports_cap_and_quality(self):
+        result = experiments.experiment_memory(
+            datasets=("SDS",), n_points=6000, eval_every=2000, quality_window=300
+        )
+        rows = result.tables["summary"]
+        assert [row["mode"] for row in rows] == ["exact", "capped"]
+        exact, capped = rows
+        assert capped["memory_cap_bytes"] >= 32_768
+        assert capped["evictions"] > 0
+        assert 0.0 <= capped["cmm_drop"] <= 1.0
+        assert 0.0 <= capped["purity_drop"] <= 1.0
+        assert "SDS/exact" in result.series and "SDS/capped" in result.series
+        assert result.metadata["cap_fraction"] == 0.5
+
+    def test_batch_throughput_rows_report_memory_columns(self):
+        result = experiments.experiment_batch_throughput(
+            n_points=2000, datasets=("SDS",), batch_sizes=(256,)
+        )
+        for row in result.tables["summary"]:
+            assert row["cell_state_bytes"] > 0
+            assert row["arena_bytes"] > 0

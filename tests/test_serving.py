@@ -328,6 +328,30 @@ class TestServingCluster:
             cluster.shutdown()
         assert cluster.leaked_segments() == []
 
+    def test_sigkilled_worker_is_restarted_by_health_check(self):
+        with ServingCluster(make_model, make_stream, n_workers=2) as cluster:
+            cluster.wait_until_serving(timeout_s=60.0)
+            victim, _ = cluster._workers[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(10.0)
+
+            health = cluster.health_check()
+            entry = health["workers"][1]
+            assert entry["restarted"]
+            assert cluster.counters["worker_restarts"] == 1
+            # The replacement runs on the same token: it re-handshakes and
+            # serves queries again, while the survivor was never touched.
+            cluster.wait_until_serving(timeout_s=60.0)
+            labels, version, _ = cluster.request(QUERIES, worker=1)
+            assert len(labels) == len(QUERIES)
+            assert version >= 1
+            labels0, _, _ = cluster.request(QUERIES, worker=0)
+            assert len(labels0) == len(QUERIES)
+            # Healthy clusters are left alone on subsequent checks.
+            again = cluster.health_check()
+            assert all(w["alive"] for w in again["workers"])
+            assert cluster.counters["worker_restarts"] == 1
+
     def test_shutdown_is_idempotent_and_leak_free(self):
         cluster = ServingCluster(make_model, make_stream, n_workers=1)
         cluster.wait_until_serving(timeout_s=60.0)
