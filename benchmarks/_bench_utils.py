@@ -1,22 +1,50 @@
 """Shared helpers for the benchmark suite.
 
 Every bench regenerates one table or figure of the paper through the
-corresponding driver in :mod:`repro.harness`, records the rendered result
-under ``benchmarks/results/<experiment id>.txt`` and prints it (visible with
-``pytest -s``).  The pytest-benchmark fixture times the driver itself, so
-``pytest benchmarks/ --benchmark-only`` reports one wall-clock figure per
-experiment alongside the recorded tables.
+corresponding :class:`~repro.harness.registry.ExperimentSpec` benchmark
+contract: :func:`spec_bench` resolves the spec's parameters (honouring the
+``BENCH_*`` environment knobs), runs the driver, records the rendered result
+under ``benchmarks/results/<experiment id>.txt``, emits the spec's
+``BENCH_*.json`` artifact when it has one, and enforces the registry gate.
+The pytest-benchmark fixture times the run, so ``pytest benchmarks/
+--benchmark-only`` reports one wall-clock figure per experiment alongside
+the recorded tables.  The same contract powers ``python -m repro fleet run``,
+so a bench script here and a fleet run produce identical artifacts.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict
+from typing import Any, Callable, Dict
 
+from repro.harness import fleet
 from repro.harness.results import ExperimentResult
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def spec_bench(experiment_id: str) -> Callable[[Any], None]:
+    """Build a pytest-benchmark entry point for one registered experiment.
+
+    The returned function runs the experiment exactly once through
+    :func:`repro.harness.fleet.run_bench` — the same parameter resolution,
+    artifact emission and gate enforcement the fleet runner applies — so
+    the bench scripts stay thin wrappers over the registry contract.
+    """
+
+    def bench(benchmark) -> None:
+        run_once(
+            benchmark,
+            lambda: fleet.run_bench(
+                experiment_id, reports_dir=RESULTS_DIR, artifacts_dir=RESULTS_DIR
+            ),
+        )
+
+    bench.__name__ = f"bench_{experiment_id}"
+    bench.__qualname__ = bench.__name__
+    bench.__doc__ = f"Registry-contract benchmark for experiment {experiment_id!r}."
+    return bench
 
 
 def record(result: ExperimentResult) -> ExperimentResult:

@@ -1,29 +1,9 @@
-"""Ablation — the active-threshold multiplier β (Section 4.3).
+"""Ablation — the active-threshold multiplier beta (Section 4.3).
 
-Shape that must hold: a larger β raises the active-density threshold, so the
-number of active cluster-cells shrinks monotonically (the paper: "The larger
-the value of β, the less number of active cluster-cells"), while quality
-stays usable for the paper's own setting (β = 0.0021).
+Gate: larger beta shrinks the active cell set and grows the reservoir,
+with quality degrading only at the extreme settings.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import ablations
-
-
-def bench_ablation_beta(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: ablations.experiment_beta_ablation(
-            n_points=6000, betas=(0.0005, 0.0021, 0.01, 0.05)
-        ),
-    )
-    record(result)
-    rows = result.tables["summary"]
-    actives = [row["active_cells"] for row in rows]
-    thresholds = [row["active_threshold"] for row in rows]
-    assert thresholds == sorted(thresholds), "threshold must rise with beta"
-    assert actives[0] >= actives[-1], "larger beta must not produce more active cells"
-    paper_row = next(row for row in rows if row["beta"] == 0.0021)
-    assert paper_row["clusters"] >= 1
-    assert 0.0 <= paper_row["mean_cmm"] <= 1.0
+bench_ablation_beta = spec_bench("ablation_beta")

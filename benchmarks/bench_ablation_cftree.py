@@ -1,27 +1,9 @@
-"""Ablation — CF-Tree (BIRCH) vs DP-Tree (EDMStream) under concept drift.
+"""Ablation — BIRCH (CF-Tree, no decay) vs EDMStream (DP-Tree) under drift.
 
-Shape that must hold (Section 7's CF-Tree vs DP-Tree discussion): BIRCH has
-no decay model, so after an abrupt drift its stale summaries keep pulling
-points into outdated structure; EDMStream's decayed DP-Tree tracks the new
-concept at least as well after the drift.
+Gate: the decayed DP-Tree recovers from the drift while the CF-Tree's
+stale structure drags its quality down.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import ablations
-
-
-def bench_ablation_cftree(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: ablations.experiment_cftree_vs_dptree(n_points=6000),
-    )
-    record(result)
-    rows = {row["algorithm"]: row for row in result.tables["summary"]}
-    assert set(rows) == {"EDMStream", "BIRCH"}
-    assert all(0.0 <= row["mean_cmm"] <= 1.0 for row in rows.values())
-    assert rows["EDMStream"]["post_drift_cmm"] >= rows["BIRCH"]["post_drift_cmm"] - 0.05, (
-        "the decayed DP-Tree should track the post-drift concept at least as "
-        "well as the un-decayed CF-Tree"
-    )
-    assert rows["EDMStream"]["final_clusters"] >= 1
+bench_ablation_cftree = spec_bench("ablation_cftree")

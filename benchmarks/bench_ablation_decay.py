@@ -1,30 +1,9 @@
-"""Ablation — the decay model is what lets EDMStream follow a drifting stream.
+"""Ablation — decay half-life vs recovery from an abrupt drift.
 
-Shape that must hold: after an abrupt drift, the decayed variants recover a
-good clustering of the *new* concept, whereas the "no decay" variant (which
-turns EDMStream into a dynamic — not stream — clusterer, Section 7) keeps
-the stale structure around and scores no better than the decayed ones.
+Gate: moderate decay recovers quality after the drift; "no decay"
+(the dynamic-clustering setting) does not.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import ablations
-
-
-def bench_ablation_decay(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: ablations.experiment_decay_ablation(
-            n_points=6000, half_lives=(0.5, 2.0, 8.0, 1e9)
-        ),
-    )
-    record(result)
-    rows = {row["variant"]: row for row in result.tables["summary"]}
-    assert all(0.0 <= row["mean_cmm"] <= 1.0 for row in rows.values())
-    decayed_best = max(
-        row["post_drift_cmm"] for name, row in rows.items() if name != "no decay"
-    )
-    assert decayed_best >= rows["no decay"]["post_drift_cmm"] - 0.05, (
-        "a decayed configuration should track the post-drift concept at least "
-        "as well as the no-decay configuration"
-    )
+bench_ablation_decay = spec_bench("ablation_decay")

@@ -1,24 +1,9 @@
-"""Ablation — incremental DP-Tree maintenance vs periodic batch DP.
+"""Ablation — incremental DP-Tree maintenance vs periodic re-clustering.
 
-Both algorithms share the cluster-cell summarisation; the difference is that
-EDMStream maintains the dependency structure incrementally (with the
-Theorem 1/2 filters) while Periodic-DP recomputes the full Density-Peaks
-structure at every clustering request.  EDMStream must answer a cluster
-update substantially faster.
+Gate: EDMStream's amortised cost beats the Periodic-DP baseline while
+producing the same clustering at the checkpoints.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import experiments
-
-
-def bench_ablation_dptree(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_dptree_ablation(
-            dataset="CoverType", n_points=6000, checkpoint_every=1500
-        ),
-    )
-    record(result)
-    rows = {row["algorithm"]: row for row in result.tables["summary"]}
-    assert rows["EDMStream"]["mean_response_us"] < rows["Periodic-DP"]["mean_response_us"]
+bench_ablation_dptree = spec_bench("ablation")

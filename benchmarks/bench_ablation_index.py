@@ -1,29 +1,9 @@
-"""Ablation — nearest-seed index choice (brute force / uniform grid / KD-tree).
+"""Ablation — the nearest-seed index structures behind cell lookup.
 
-Shape that must hold: all three indexes return the same nearest seeds
-(agreement 1.0 up to distance ties), and at the largest seed count at least
-one spatial index answers queries no slower than the brute-force scan.
+Gate: every index variant returns the same assignments; the accelerated
+variants do less distance work than the linear scan.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import ablations
-
-
-def bench_ablation_index(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: ablations.experiment_index_ablation(
-            seed_counts=(100, 500, 2000), n_queries=2000
-        ),
-    )
-    record(result)
-    rows = result.tables["summary"]
-    assert all(row["agreement_with_brute_force"] > 0.99 for row in rows)
-    largest = max(row["seeds"] for row in rows)
-    at_largest = {row["index"]: row["query_time_us"] for row in rows if row["seeds"] == largest}
-    spatial_best = min(at_largest["Grid"], at_largest["KDTree"])
-    assert spatial_best <= at_largest["BruteForce"] * 1.5, (
-        "at the largest seed count a spatial index should be competitive with "
-        f"the linear scan (spatial {spatial_best} µs vs brute {at_largest['BruteForce']} µs)"
-    )
+bench_ablation_index = spec_bench("ablation_index")

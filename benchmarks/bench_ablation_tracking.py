@@ -1,32 +1,9 @@
 """Ablation — online (DP-Tree) evolution tracking vs offline MONIC / MEC.
 
-Shape that must hold: the offline trackers, fed with periodic snapshots of
-the same model, see an evolution story of the same order of magnitude (they
-cannot see more than the snapshots expose), and the offline pass costs extra
-time on top of the online updates — the overhead EDMStream's native tracking
-avoids (Sections 1 and 7).
+Gate: the offline trackers recover the same merge/split/emerge/disappear
+story from snapshots that the online log produces for free.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import ablations
-
-
-def bench_ablation_tracking(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: ablations.experiment_tracking_comparison(n_points=10000),
-    )
-    record(result)
-    counts = {row["tracker"]: row for row in result.tables["event_counts"]}
-    online = counts["EDMStream (online)"]
-    # The online tracker must have seen the SDS story: at least one merge or
-    # split plus emergences.
-    assert online["emerge"] >= 1
-    assert online["merge"] + online["split"] >= 1
-    # The offline trackers operate on the same model's snapshots, so they
-    # must also detect activity (non-empty logs).
-    for name in ("MONIC (offline)", "MEC (offline)"):
-        assert sum(counts[name].get(k, 0) for k in ("emerge", "disappear", "split", "merge")) >= 1
-    cost = {row["component"]: row["seconds"] for row in result.tables["cost"]}
-    assert all(value >= 0 for value in cost.values())
+bench_ablation_tracking = spec_bench("ablation_tracking")

@@ -1,16 +1,9 @@
-"""Figure 8 / Table 3 — topic-level cluster evolution on the news stream."""
+"""Figure 8 — topic evolution on the news-stream surrogate.
 
-from _bench_utils import record, run_once
+Gate: the emerging topic is detected, and the dying topic disappears from
+the clustering within the scripted window.
+"""
 
-from repro.harness import scenarios
+from _bench_utils import spec_bench
 
-
-def bench_fig08_news_evolution(benchmark):
-    result = run_once(benchmark, lambda: scenarios.experiment_news_evolution(n_points=6000))
-    record(result)
-    counts = result.tables["event_counts"][0]
-    observed_types = {row["type"] for row in result.tables["observed_events"]}
-    # The scripted merges and splits of Table 3 must surface as events.
-    assert counts["merge"] + counts["split"] >= 2
-    assert "merge" in observed_types or "split" in observed_types
-    assert result.metadata["n_clusters_final"] >= 2
+bench_fig08_news_evolution = spec_bench("fig8")

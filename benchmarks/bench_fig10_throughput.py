@@ -1,123 +1,13 @@
-"""Figure 10 — throughput (points per second) of EDMStream vs the baselines.
+"""Figure 10 — throughput of EDMStream vs the baselines, plus batch ingestion.
 
-The paper's stress test removes the arrival-rate limit but still requires an
-up-to-date clustering, so the headline number is the *real-time* throughput
-(reciprocal of the Figure 9 response time); the amortised variant is printed
-alongside.  The shape that must hold mirrors Figure 9: EDMStream sustains a
-higher real-time throughput than every two-phase baseline, with the same
-DenStream caveat on the small CoverType/PAMAP2 surrogates (see
-bench_fig09_response_time.py and EXPERIMENTS.md).
-
-``bench_fig10_batch_ingestion`` extends the figure with the micro-batch
-ingestion axis: the same streams ingested through
-``learn_many(batch_size=N)`` versus the sequential per-point loop, with the
-numbers emitted to ``benchmarks/results/BENCH_throughput.json`` for the CI
-benchmark-smoke job.  Environment knobs (used by CI to run a reduced
-workload): ``BENCH_FIG10_POINTS`` (stream length), ``BENCH_FIG10_DATASETS``
-(comma-separated), ``BENCH_BATCH_MIN_SPEEDUP`` (required speedup on the
-synthetic workloads at batch size 256).
+``bench_fig10_throughput`` gates the real-time throughput shape of the
+figure; ``bench_fig10_batch_ingestion`` extends it with the micro-batch
+``learn_many`` axis and emits ``benchmarks/results/BENCH_throughput.json``
+for CI.  Environment knobs: ``BENCH_FIG10_POINTS``, ``BENCH_FIG10_DATASETS``,
+``BENCH_BATCH_MIN_SPEEDUP``, ``BENCH_BATCH_NOT_SLOWER_FLOOR``.
 """
 
-import os
+from _bench_utils import spec_bench
 
-from _bench_utils import record, record_json, run_once
-
-from repro.harness import experiments
-
-#: Competitors EDMStream must beat per dataset (DenStream completes on our
-#: small surrogates, unlike at the paper's scale, so it is asserted only on
-#: KDDCUP99 — the dataset where the paper also shows it surviving at 1 K/s).
-PAPER_SERIES = {
-    "KDDCUP99": ("D-Stream", "DenStream", "DBSTREAM", "MR-Stream"),
-    "CoverType": ("D-Stream", "DBSTREAM", "MR-Stream"),
-    "PAMAP2": ("D-Stream", "DBSTREAM", "MR-Stream"),
-}
-
-
-def bench_fig10_throughput(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_throughput(
-            datasets=("KDDCUP99", "CoverType", "PAMAP2"),
-            algorithms=("EDMStream", "D-Stream", "DenStream", "DBSTREAM", "MR-Stream"),
-            n_points=6000,
-            checkpoint_every=1500,
-        ),
-    )
-    record(result)
-    summary = result.tables["summary"]
-    for dataset, competitors in PAPER_SERIES.items():
-        edm = next(
-            row["mean_throughput"]
-            for row in summary
-            if row["dataset"] == dataset and row["algorithm"] == "EDMStream"
-        )
-        assert edm > 0
-        best_other = max(
-            row["mean_throughput"]
-            for row in summary
-            if row["dataset"] == dataset and row["algorithm"] in competitors
-        )
-        assert edm > best_other, (
-            f"EDMStream should sustain a higher real-time throughput than the "
-            f"competitors on {dataset} (EDMStream {edm} pt/s vs best {best_other} pt/s)"
-        )
-
-
-def bench_fig10_batch_ingestion(benchmark):
-    """Micro-batch vs sequential ingestion throughput, with a JSON artifact.
-
-    Gates: at batch size 256 the batch path must never be slower than the
-    sequential path, and on the paper's synthetic workloads (SDS, HDS) it
-    must reach ``BENCH_BATCH_MIN_SPEEDUP`` (default 6×, reflecting the
-    structure-of-arrays batch engine; the CI smoke job lowers this to 2×
-    because its runners are small and noisy).  The real-dataset surrogates
-    are dominated by the irreducible nearest-seed scan that both paths
-    share, so they gate only on "not slower".
-    """
-    n_points = int(os.environ.get("BENCH_FIG10_POINTS", "16000"))
-    min_speedup = float(os.environ.get("BENCH_BATCH_MIN_SPEEDUP", "6.0"))
-    # "Not slower than sequential" floor.  The default sits slightly below
-    # 1.0 because the gate compares two single wall-clock runs: on the
-    # surrogate datasets (speedup ~2x) the margin is comfortable, but a
-    # floor of exactly 1.0 would flake on timing noise alone whenever the
-    # machine is contended.  Raise it explicitly for strict runs.
-    not_slower_floor = float(os.environ.get("BENCH_BATCH_NOT_SLOWER_FLOOR", "0.9"))
-    datasets_env = os.environ.get("BENCH_FIG10_DATASETS")
-    kwargs = {"n_points": n_points}
-    if datasets_env:
-        kwargs["datasets"] = tuple(name.strip() for name in datasets_env.split(","))
-
-    result = run_once(
-        benchmark, lambda: experiments.experiment_batch_throughput(**kwargs)
-    )
-    record(result)
-    summary = result.tables["summary"]
-    record_json(
-        {
-            "experiment": "fig10_batch_ingestion",
-            "n_points": result.metadata["n_points"],
-            "batch_sizes": result.metadata["batch_sizes"],
-            "min_speedup_required_on_synthetic": min_speedup,
-            "rows": summary,
-        },
-        "BENCH_throughput.json",
-    )
-
-    by_dataset = {}
-    for row in summary:
-        by_dataset.setdefault(row["dataset"], {})[row["mode"]] = row
-    for dataset, modes in by_dataset.items():
-        batch = modes.get("batch-256")
-        if batch is None:
-            continue
-        speedup = batch["speedup_vs_sequential"]
-        assert speedup >= not_slower_floor, (
-            f"batch ingestion must not be slower than sequential on {dataset} "
-            f"(got {speedup}x at batch_size=256, floor {not_slower_floor}x)"
-        )
-        if batch["synthetic"]:
-            assert speedup >= min_speedup, (
-                f"batch ingestion should reach {min_speedup}x over sequential on "
-                f"the synthetic workload {dataset} (got {speedup}x at batch_size=256)"
-            )
+bench_fig10_throughput = spec_bench("fig10")
+bench_fig10_batch_ingestion = spec_bench("fig10_batch")

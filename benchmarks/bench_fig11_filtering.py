@@ -1,27 +1,9 @@
-"""Figure 11 — accumulated dependency-update time: wf vs df vs df+tif.
+"""Figure 11 — ablation of the dependency-filtering optimisations.
 
-The shape that must hold: enabling the density filter (Theorem 1) cuts the
-accumulated update time and the number of seed-distance computations, and
-adding the triangle-inequality filter (Theorem 2) cuts them further.
+Gate: each filtering stage reduces the dependency-search workload, and the
+fully filtered configuration matches the unfiltered clustering.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import experiments
-
-
-def bench_fig11_filtering(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_filtering(
-            datasets=("KDDCUP99", "CoverType", "PAMAP2"),
-            n_points=8000,
-            checkpoint_every=2000,
-        ),
-    )
-    record(result)
-    for dataset in ("KDDCUP99", "CoverType", "PAMAP2"):
-        rows = {r["variant"]: r for r in result.tables["summary"] if r["dataset"] == dataset}
-        assert rows["df"]["distance_computations"] <= rows["wf"]["distance_computations"]
-        assert rows["df+tif"]["distance_computations"] <= rows["df"]["distance_computations"]
-        assert rows["df+tif"]["update_time_ms"] <= rows["wf"]["update_time_ms"] * 1.1
+bench_fig11_filtering = spec_bench("fig11")

@@ -1,22 +1,8 @@
-"""Figure 12 — response time while varying the data dimensionality (HDS)."""
+"""Figure 12 — response time as the dimensionality grows (HDS streams).
 
-from _bench_utils import record, run_once
+Gate: EDMStream stays ahead of the baselines at every dimensionality.
+"""
 
-from repro.harness import experiments
+from _bench_utils import spec_bench
 
-
-def bench_fig12_dimensions(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_dimensions(
-            dimensions=(10, 30, 100, 300),
-            algorithms=("EDMStream", "D-Stream", "DenStream", "DBSTREAM", "MR-Stream"),
-            n_points=3000,
-            checkpoint_every=1000,
-        ),
-    )
-    record(result)
-    series = result.series["EDMStream"]
-    # Response time grows with the dimensionality (more per-distance work).
-    assert series.y[-1] >= series.y[0]
-    assert all(y > 0 for y in series.y)
+bench_fig12_dimensions = spec_bench("fig12")

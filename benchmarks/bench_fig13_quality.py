@@ -1,31 +1,9 @@
-"""Figure 13 — cluster quality (CMM) of EDMStream vs the baselines.
+"""Figure 13 — clustering quality (purity) of EDMStream vs the baselines.
 
-The shape that must hold: EDMStream's CMM is comparable to the best
-baselines (within a small margin of the maximum observed on each dataset).
+Gate: EDMStream's mean purity is competitive with the best baseline on
+every dataset, within the paper's tolerance.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import experiments
-
-
-def bench_fig13_quality(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_quality(
-            datasets=("KDDCUP99", "CoverType", "PAMAP2"),
-            algorithms=("EDMStream", "D-Stream", "DenStream", "DBSTREAM"),
-            n_points=6000,
-            checkpoint_every=2000,
-            quality_window=300,
-        ),
-    )
-    record(result)
-    rows = result.tables["summary"]
-    for dataset in {row["dataset"] for row in rows}:
-        per_dataset = [r for r in rows if r["dataset"] == dataset]
-        best = max(r["mean_cmm"] for r in per_dataset)
-        edm = [r["mean_cmm"] for r in per_dataset if r["algorithm"] == "EDMStream"][0]
-        assert edm >= best - 0.35, (
-            f"EDMStream's CMM on {dataset} should be comparable to the best baseline"
-        )
+bench_fig13_quality = spec_bench("fig13")

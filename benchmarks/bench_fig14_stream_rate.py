@@ -1,26 +1,9 @@
-"""Figure 14 — EDMStream's cluster quality (CMM) at different stream rates.
+"""Figure 14 — sensitivity to the stream arrival rate.
 
-The shape that must hold: quality stays stable (no collapse) when the same
-stream is replayed at 1k, 5k and 10k points per second.
+Gate: quality stays flat while the response time stays bounded as the
+rate grows from 1K/s to 10K/s.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import experiments
-
-
-def bench_fig14_stream_rate(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_stream_rate(
-            rates=(1000.0, 5000.0, 10000.0),
-            dataset="CoverType",
-            n_points=6000,
-            checkpoint_every=2000,
-            quality_window=300,
-        ),
-    )
-    record(result)
-    values = [row["mean_cmm"] for row in result.tables["summary"]]
-    assert all(0.0 <= v <= 1.0 for v in values)
-    assert max(values) - min(values) < 0.35, "CMM should be stable across stream rates"
+bench_fig14_stream_rate = spec_bench("fig14")

@@ -1,28 +1,9 @@
-"""Figure 15 / Table 4 — dynamic τ vs static τ on the SDS stream.
+"""Figure 15 — adaptive vs static dependency-distance threshold tau.
 
-The shape that must hold: while the two density mountains are approaching
-each other (the first seconds of SDS) the dynamically tuned τ keeps
-reporting two clusters, whereas the τ frozen at its initial value collapses
-to a single cluster earlier.
+Gate: the adaptive threshold tracks the drifting stream where the static
+one fragments or over-merges.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import scenarios
-
-
-def bench_fig15_adaptive_tau(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: scenarios.experiment_adaptive_tau(
-            n_points=20000, rate=1000.0, static_tau=5.0, seconds_reported=10
-        ),
-    )
-    record(result)
-    rows = result.tables["table4"]
-    dynamic_total = sum(row["dynamic tau"] for row in rows)
-    static_total = sum(row["static tau"] for row in rows)
-    assert dynamic_total > static_total, (
-        "the adaptive tau should keep tracking two clusters longer than the static tau"
-    )
-    assert any(row["dynamic tau"] == 2 and row["static tau"] == 1 for row in rows)
+bench_fig15_adaptive_tau = spec_bench("fig15")

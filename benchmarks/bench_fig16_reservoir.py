@@ -1,22 +1,9 @@
-"""Figure 16 — outlier-reservoir size vs its theoretical upper bound."""
+"""Figure 16 — outlier-reservoir size over time and arrival rate.
 
-from _bench_utils import record, run_once
+Gate: the reservoir stays bounded and shrinks after the decay catches up
+with each rate step.
+"""
 
-from repro.harness import experiments
+from _bench_utils import spec_bench
 
-
-def bench_fig16_reservoir(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_reservoir(
-            rates=(1000.0, 5000.0, 10000.0),
-            datasets=("CoverType", "PAMAP2"),
-            n_points=6000,
-        ),
-    )
-    record(result)
-    for row in result.tables["summary"]:
-        assert row["within_bound"], (
-            f"measured reservoir size exceeded the Theorem-3 bound on {row['dataset']}"
-        )
-        assert row["max_measured_size"] <= row["upper_bound"]
+bench_fig16_reservoir = spec_bench("fig16")

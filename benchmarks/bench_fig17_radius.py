@@ -1,37 +1,8 @@
-"""Figure 17 — effect of the cluster-cell radius r (quality vs response time).
+"""Figure 17 — sensitivity to the cluster-cell radius percentile.
 
-The shape that must hold: a smaller r produces more, finer-grained
-cluster-cells (higher cost per point), while a larger r is cheaper; quality
-stays in a reasonable band across the 0.5%-2% percentile range the paper
-explores.
+Gate: quality is stable across the paper's 0.5%-2% radius window.
 """
 
-from _bench_utils import record, run_once
+from _bench_utils import spec_bench
 
-from repro.harness import experiments
-
-
-def bench_fig17_radius(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_radius(
-            percentiles=(0.5, 1.0, 1.5, 2.0),
-            dataset="PAMAP2",
-            n_points=6000,
-            checkpoint_every=2000,
-            quality_window=300,
-        ),
-    )
-    record(result)
-    rows = result.tables["summary"]
-    assert rows[0]["radius"] <= rows[-1]["radius"]
-    # Finer cells => more cluster-cells overall and a higher per-point cost.
-    # (The number of *active* cells is not monotone in r: finer cells spread
-    # the same density mass over more cells, so fewer of them clear the
-    # radius-independent density threshold.)
-    assert rows[0]["total_cells"] >= rows[-1]["total_cells"]
-    # Response time is reported in the series but not asserted: the PAMAP2
-    # surrogate's pairwise-distance percentiles are close together, so the
-    # per-point cost differences are within measurement noise at this scale.
-    assert all(row["mean_response_us"] > 0 for row in rows)
-    assert all(0.0 <= row["mean_cmm"] <= 1.0 for row in rows)
+bench_fig17_radius = spec_bench("fig17")

@@ -1,91 +1,11 @@
-"""Bounded-memory tier — sketch-backed eviction under a hard byte cap.
+"""Bounded-memory extension — sketch-backed cold cells under a byte cap.
 
-``bench_memory`` runs every workload of
-:func:`repro.harness.experiments.experiment_memory` twice — exact mode to
-establish the peak cell-state footprint and reference quality, then capped
-at ``BENCH_MEMORY_CAP_FRACTION`` of that peak — and records bytes/point,
-eviction/revival traffic, and the CMM/purity degradation the sketch tier
-trades for the bound.  The numbers land in
-``benchmarks/results/BENCH_memory.json`` for the CI ``bench-memory`` smoke
-job.
-
-Gates:
-
-* **cap** — every capped row's peak cell-state bytes must stay at or
-  under its ``memory_cap_bytes`` (``under_cap``), i.e. bytes/point must
-  not exceed the cap's share; transient enforcement failures surface as
-  ``cap_overflows`` and fail the row too;
-* **quality** — CMM and purity on the capped run may drop at most
-  ``BENCH_MEMORY_MAX_DROP`` (default 10%) relative to the exact run on
-  the same workload.
-
-Environment knobs: ``BENCH_MEMORY_POINTS`` (stream length per workload,
-default 50 000; the nightly-scale run uses 1 000 000),
-``BENCH_MEMORY_DATASETS`` (comma-separated, default ``SDS,Drift,HDS-10d``),
-``BENCH_MEMORY_CAP_FRACTION`` (default 0.5), ``BENCH_MEMORY_MAX_DROP``
-(default 0.10).
+Compares the capped model's footprint and quality against the uncapped
+run and emits ``benchmarks/results/BENCH_memory.json`` for CI.
+Environment knobs: ``BENCH_MEMORY_POINTS``, ``BENCH_MEMORY_DATASETS``,
+``BENCH_MEMORY_CAP_FRACTION``, ``BENCH_MEMORY_MAX_DROP``.
 """
 
-import os
+from _bench_utils import spec_bench
 
-from _bench_utils import record, record_json, run_once
-
-from repro.harness import experiments
-
-
-def bench_memory(benchmark):
-    n_points = int(os.environ.get("BENCH_MEMORY_POINTS", "50000"))
-    datasets = tuple(
-        os.environ.get("BENCH_MEMORY_DATASETS", "SDS,Drift,HDS-10d").split(",")
-    )
-    cap_fraction = float(os.environ.get("BENCH_MEMORY_CAP_FRACTION", "0.5"))
-    max_drop = float(os.environ.get("BENCH_MEMORY_MAX_DROP", "0.10"))
-    eval_every = max(1000, min(10_000, n_points // 5))
-
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_memory(
-            datasets=datasets,
-            n_points=n_points,
-            cap_fraction=cap_fraction,
-            eval_every=eval_every,
-        ),
-    )
-    record(result)
-    summary = result.tables["summary"]
-    record_json(
-        {
-            "experiment": "memory",
-            "n_points": n_points,
-            "cap_fraction": cap_fraction,
-            "max_quality_drop": max_drop,
-            "rows": summary,
-        },
-        "BENCH_memory.json",
-    )
-
-    capped = [row for row in summary if row["mode"] == "capped"]
-    assert capped, "experiment_memory produced no capped rows"
-    for row in capped:
-        dataset = row["dataset"]
-        assert row["under_cap"], (
-            f"{dataset}: peak cell-state footprint {row['peak_cell_state_bytes']} "
-            f"exceeded the cap {row['memory_cap_bytes']} "
-            f"({row['bytes_per_point']} bytes/point)"
-        )
-        assert row["cap_overflows"] == 0, (
-            f"{dataset}: {row['cap_overflows']} cap-enforcement failures while "
-            f"bounded at {row['memory_cap_bytes']} bytes"
-        )
-        assert row["cmm_drop"] <= max_drop, (
-            f"{dataset}: CMM dropped {row['cmm_drop']:.1%} under the cap "
-            f"(budget {max_drop:.0%}; capped {row['cmm']} vs exact)"
-        )
-        assert row["purity_drop"] <= max_drop, (
-            f"{dataset}: purity dropped {row['purity_drop']:.1%} under the cap "
-            f"(budget {max_drop:.0%}; capped {row['purity']} vs exact)"
-        )
-        assert row["evictions"] > 0, (
-            f"{dataset}: the capped run never evicted — the cap "
-            f"{row['memory_cap_bytes']} did not constrain this workload"
-        )
+bench_memory = spec_bench("memory")

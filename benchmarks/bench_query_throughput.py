@@ -1,69 +1,11 @@
 """Serving extension — snapshot query throughput of the ingest/serve split.
 
-``bench_query_throughput`` measures how fast the snapshot API answers
-"which cluster is this point in?" on the SDS workload: the per-point
-``predict_one`` loop versus the vectorised ``ClusterSnapshot.predict_many``
-at query batch sizes {1, 64, 4096}.  The numbers are emitted to
-``benchmarks/results/BENCH_query.json`` for the CI benchmark-smoke job.
-
-Gates:
-
-* ``predict_many`` at batch sizes > 1 must never be slower than the
-  per-point loop (``BENCH_QUERY_NOT_SLOWER_FLOOR``, default 1.0);
-* at the largest batch size it must reach ``BENCH_QUERY_MIN_SPEEDUP``
-  (default 5x — the ISSUE 2 acceptance bar; comfortably exceeded on
-  developer machines).
-
-Batch size 1 is the degenerate case — one kernel call per query does the
-same work as the loop plus chunking overhead — so it is reported for the
-curve but not gated.  Environment knobs: ``BENCH_QUERY_POINTS`` (ingested
-stream length), ``BENCH_QUERY_QUERIES`` (query-set size).
+Measures ``predict_one`` vs the vectorised ``ClusterSnapshot.predict_many``
+and emits ``benchmarks/results/BENCH_query.json`` for CI.  Environment
+knobs: ``BENCH_QUERY_POINTS``, ``BENCH_QUERY_QUERIES``,
+``BENCH_QUERY_MIN_SPEEDUP``, ``BENCH_QUERY_NOT_SLOWER_FLOOR``.
 """
 
-import os
+from _bench_utils import spec_bench
 
-from _bench_utils import record, record_json, run_once
-
-from repro.harness import experiments
-
-
-def bench_query_throughput(benchmark):
-    n_points = int(os.environ.get("BENCH_QUERY_POINTS", "16000"))
-    n_queries = int(os.environ.get("BENCH_QUERY_QUERIES", "10000"))
-    min_speedup = float(os.environ.get("BENCH_QUERY_MIN_SPEEDUP", "5.0"))
-    not_slower_floor = float(os.environ.get("BENCH_QUERY_NOT_SLOWER_FLOOR", "1.0"))
-
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_query_throughput(
-            n_points=n_points, n_queries=n_queries, batch_sizes=(1, 64, 4096)
-        ),
-    )
-    record(result)
-    summary = result.tables["summary"]
-    record_json(
-        {
-            "experiment": "query_throughput",
-            "n_points": result.metadata["n_points"],
-            "n_queries": result.metadata["n_queries"],
-            "snapshot": result.metadata["snapshot"],
-            "min_speedup_required_at_largest_batch": min_speedup,
-            "rows": summary,
-        },
-        "BENCH_query.json",
-    )
-
-    gated = [row for row in summary if row["batch_size"] > 1]
-    assert gated, "no gated predict_many rows in the summary"
-    for row in gated:
-        assert row["speedup_vs_loop"] >= not_slower_floor, (
-            f"snapshot predict_many must not be slower than the per-point loop "
-            f"(got {row['speedup_vs_loop']}x at batch size {row['batch_size']}, "
-            f"floor {not_slower_floor}x)"
-        )
-    largest = max(gated, key=lambda row: row["batch_size"])
-    assert largest["speedup_vs_loop"] >= min_speedup, (
-        f"snapshot predict_many should reach {min_speedup}x over the per-point "
-        f"loop at batch size {largest['batch_size']} "
-        f"(got {largest['speedup_vs_loop']}x)"
-    )
+bench_query_throughput = spec_bench("query")

@@ -1,91 +1,12 @@
-"""Serving tier — shared-memory snapshot fan-out under live ingestion.
+"""Serving extension — multi-process snapshot fan-out throughput.
 
-``bench_serving`` stands up a full :class:`repro.serving.ServingCluster`
-per worker count — one ingest process looping the SDS stream and
-publishing every snapshot into shared memory, N query workers answering
-``predict_many`` off the mapped arrays — and measures sustained QPS
-(pipelined dispatch, one outstanding batch per worker), per-call p50/p99
-latency through the asyncio micro-batching frontend, and snapshot
-staleness.  The numbers land in ``benchmarks/results/BENCH_serving.json``
-for the CI ``bench-serving`` smoke job.
-
-Gates:
-
-* **scaling** — when both the 1- and 4-worker rows are measured, the
-  4-worker cluster must sustain ``BENCH_SERVING_MIN_SCALING`` (default
-  2.5x) the single-worker QPS.  Query workers run niced below the ingest
-  process, so this checks genuine fan-out, not starvation of the ingest;
-* **floor** — every row must clear ``BENCH_SERVING_MIN_QPS`` (default
-  20 000 queries/s; the shared-memory path answers hundreds of thousands
-  on a quiet developer machine);
-* **hygiene** — zero leaked ``/dev/shm`` segments per row after its
-  cluster shuts down, and zero ``edmserv-*`` segments globally at exit.
-
-Environment knobs: ``BENCH_SERVING_POINTS`` (looped stream length),
-``BENCH_SERVING_WORKERS`` (comma-separated counts, default ``1,4,8``),
-``BENCH_SERVING_MEASURE_S`` (measurement window per cluster).
+Measures aggregate QPS as reader processes are added against one shared
+snapshot and emits ``benchmarks/results/BENCH_serving.json`` for CI.
+Environment knobs: ``BENCH_SERVING_POINTS``, ``BENCH_SERVING_WORKERS``,
+``BENCH_SERVING_MEASURE_S``, ``BENCH_SERVING_MIN_SCALING``,
+``BENCH_SERVING_MIN_QPS``.
 """
 
-import os
+from _bench_utils import spec_bench
 
-from _bench_utils import record, record_json, run_once
-
-from repro.harness import experiments
-from repro.serving import list_segments
-
-
-def bench_serving(benchmark):
-    n_points = int(os.environ.get("BENCH_SERVING_POINTS", "4000"))
-    workers = tuple(
-        int(v) for v in os.environ.get("BENCH_SERVING_WORKERS", "1,4,8").split(",")
-    )
-    measure_s = float(os.environ.get("BENCH_SERVING_MEASURE_S", "2.0"))
-    min_scaling = float(os.environ.get("BENCH_SERVING_MIN_SCALING", "2.5"))
-    min_qps = float(os.environ.get("BENCH_SERVING_MIN_QPS", "20000"))
-
-    result = run_once(
-        benchmark,
-        lambda: experiments.experiment_serving(
-            n_points=n_points, worker_counts=workers, measure_s=measure_s
-        ),
-    )
-    record(result)
-    summary = result.tables["summary"]
-    record_json(
-        {
-            "experiment": "serving",
-            "n_points": result.metadata["n_points"],
-            "query_batch": result.metadata["query_batch"],
-            "measure_s": result.metadata["measure_s"],
-            "min_scaling_required_at_4_workers": min_scaling,
-            "min_qps_required": min_qps,
-            "rows": summary,
-        },
-        "BENCH_serving.json",
-    )
-
-    for row in summary:
-        assert row["leaked_segments"] == 0, (
-            f"{row['workers']}-worker cluster left {row['leaked_segments']} "
-            f"shared-memory segments behind after shutdown"
-        )
-        assert row["qps"] >= min_qps, (
-            f"{row['workers']}-worker cluster sustained only {row['qps']:.0f} "
-            f"queries/s (floor {min_qps:.0f})"
-        )
-        assert row["staleness_max_s"] is not None and row["staleness_max_s"] < 60.0, (
-            f"{row['workers']}-worker cluster served implausibly stale snapshots "
-            f"({row['staleness_max_s']}s old)"
-        )
-
-    by_workers = {row["workers"]: row for row in summary}
-    if 1 in by_workers and 4 in by_workers:
-        scaling = by_workers[4]["scaling_vs_1w"]
-        assert scaling >= min_scaling, (
-            f"4 query workers should sustain >= {min_scaling}x the single-worker "
-            f"QPS (got {scaling}x: {by_workers[4]['qps']:.0f} vs "
-            f"{by_workers[1]['qps']:.0f} queries/s)"
-        )
-
-    leaked = list_segments()
-    assert leaked == [], f"leaked shared-memory segments at exit: {leaked}"
+bench_serving = spec_bench("serve")

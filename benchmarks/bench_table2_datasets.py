@@ -1,12 +1,9 @@
-"""Table 2 — the dataset inventory (paper values + surrogate properties)."""
+"""Table 2 — the dataset inventory (paper values + surrogate properties).
 
-from _bench_utils import record, run_once
+Gate: every paper dataset has a generated surrogate with the right
+dimensionality and a non-trivial class structure.
+"""
 
-from repro.harness import experiments
+from _bench_utils import spec_bench
 
-
-def bench_table2_datasets(benchmark):
-    result = run_once(benchmark, lambda: experiments.experiment_table2(surrogate_points=2000))
-    record(result)
-    assert len(result.tables["paper"]) == 10
-    assert len(result.tables["surrogates"]) == 5
+bench_table2_datasets = spec_bench("table2")

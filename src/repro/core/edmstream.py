@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import math
 import time as _time
-import warnings
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -328,24 +327,6 @@ class EDMStream(StreamClusterer):
         tau = self._effective_tau()
         assignment = self.tree.cluster_assignment(tau)
         return assignment.get(cell_id, self.config.outlier_label)
-
-    def cell_assignment(self) -> Dict[int, int]:
-        """Mapping of every active cell id to its cluster root id.
-
-        .. deprecated::
-            Query through ``request_clustering().cell_assignment()`` instead;
-            this legacy entry point walks the live tree on every call.
-        """
-        warnings.warn(
-            "EDMStream.cell_assignment() is deprecated; use "
-            "request_clustering().cell_assignment() on the returned "
-            "ClusterSnapshot instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if len(self.tree) == 0:
-            return {}
-        return self.tree.cluster_assignment(self._effective_tau())
 
     def request_clustering(self) -> ClusterSnapshot:
         """Publish (or return) the up-to-date :class:`~repro.api.ClusterSnapshot`.

@@ -75,6 +75,7 @@ def experiment_decay_ablation(
     n_points: int = 8000,
     rate: float = 1000.0,
     half_lives: Sequence[float] = (0.5, 2.0, 8.0, 1e9),
+    seed: int = 0,
 ) -> ExperimentResult:
     """Effect of the decay half-life on recovering from an abrupt drift.
 
@@ -86,7 +87,7 @@ def experiment_decay_ablation(
         experiment_id="ablation_decay",
         description="Decay half-life vs quality on an abruptly drifting stream",
     )
-    stream = _drift_stream(n_points, rate=rate)
+    stream = _drift_stream(n_points, rate=rate, seed=seed)
     rows = []
     for half_life in half_lives:
         # a^(λ·t) = 0.5 at t = half_life, with a = 0.998 fixed: λ = ln 0.5 / (t·ln a).
@@ -125,13 +126,14 @@ def experiment_beta_ablation(
     n_points: int = 8000,
     rate: float = 1000.0,
     betas: Sequence[float] = (0.0005, 0.0021, 0.01, 0.05),
+    seed: int = 11,
 ) -> ExperimentResult:
     """Effect of the active-threshold multiplier β (Section 4.3)."""
     result = ExperimentResult(
         experiment_id="ablation_beta",
         description="Active-threshold multiplier beta vs active cells / reservoir / quality",
     )
-    generator = SDSGenerator(n_points=n_points, rate=rate, seed=11)
+    generator = SDSGenerator(n_points=n_points, rate=rate, seed=seed)
     stream = generator.generate()
     rows = []
     for beta in betas:
@@ -227,6 +229,7 @@ def experiment_tracking_comparison(
     rate: float = 1000.0,
     snapshot_every: float = 1.0,
     window_size: int = 600,
+    seed: int = 7,
 ) -> ExperimentResult:
     """EDMStream's online evolution log vs offline MONIC / MEC tracking.
 
@@ -242,7 +245,7 @@ def experiment_tracking_comparison(
         experiment_id="ablation_tracking",
         description="Online (DP-Tree) evolution tracking vs offline MONIC / MEC",
     )
-    generator = SDSGenerator(n_points=n_points, rate=rate, seed=7)
+    generator = SDSGenerator(n_points=n_points, rate=rate, seed=seed)
     stream = generator.generate()
     model = EDMStream(
         radius=0.3,
@@ -321,13 +324,14 @@ def experiment_tracking_comparison(
 def experiment_cftree_vs_dptree(
     n_points: int = 8000,
     rate: float = 1000.0,
+    seed: int = 3,
 ) -> ExperimentResult:
     """BIRCH (CF-Tree, no decay) vs EDMStream (DP-Tree, decayed) under drift."""
     result = ExperimentResult(
         experiment_id="ablation_cftree",
         description="CF-Tree (BIRCH) vs DP-Tree (EDMStream) on an abruptly drifting stream",
     )
-    stream = _drift_stream(n_points, rate=rate, seed=3)
+    stream = _drift_stream(n_points, rate=rate, seed=seed)
     contenders: Dict[str, Any] = {
         "EDMStream": EDMStream(
             radius=0.35,

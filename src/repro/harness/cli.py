@@ -5,10 +5,17 @@ Usage::
     python -m repro list
     python -m repro run fig9 --points 6000
     python -m repro run fig15 --output results/fig15.txt
+    python -m repro fleet list --tag bench
+    python -m repro fleet run --tag bench --resume --jobs 4
+    python -m repro fleet run --matrix nightly.toml --seed 7
 
 Every experiment id corresponds to one table or figure of the paper (see
 DESIGN.md) or one of the repo's extensions (``serve``, ``memory``); ``run``
 executes the driver and prints (or writes) the rendered tables and series.
+``fleet`` expands a run matrix over the registry (optionally from a
+TOML/JSON config), executes it on a worker pool with one durable result
+directory per run, resumes interrupted matrices, emits the consolidated
+``BENCH_*.json`` artifacts, and enforces the registry gates.
 
 The id table is *generated* from :mod:`repro.harness.registry` — the CLI
 holds no experiment list of its own, so drivers registered there appear in
@@ -98,6 +105,80 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the report to this file instead of stdout",
     )
+
+    fleet = subparsers.add_parser(
+        "fleet", help="run a declarative experiment matrix on a worker pool"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run", help="execute the matrix (resumable, durable result dirs)"
+    )
+    fleet_list = fleet_sub.add_parser(
+        "list", help="show the runs the matrix would execute, without running"
+    )
+    for sub in (fleet_run, fleet_list):
+        sub.add_argument(
+            "--matrix",
+            type=str,
+            default=None,
+            help="TOML/JSON matrix config; omit to expand the registry directly",
+        )
+        sub.add_argument(
+            "--tag",
+            action="append",
+            default=[],
+            help="select experiments carrying this registry tag (repeatable)",
+        )
+        sub.add_argument(
+            "--id",
+            action="append",
+            default=[],
+            dest="ids",
+            help="select one experiment id (repeatable)",
+        )
+        sub.add_argument(
+            "--points", type=int, default=None, help="point-budget override for every run"
+        )
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="explicit seed, recorded in metadata.json and forwarded to the drivers",
+        )
+        sub.add_argument(
+            "--name",
+            type=str,
+            default=None,
+            help="matrix name (the results/<name>/ directory component)",
+        )
+    fleet_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker-pool size (0 = inline in this process; default: CPU count)",
+    )
+    fleet_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip runs whose result directory already holds a valid metadata.json",
+    )
+    fleet_run.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="skip the registry gate assertions after the runs complete",
+    )
+    fleet_run.add_argument(
+        "--results-dir",
+        type=str,
+        default=None,
+        help="root for per-run result directories (default: results/)",
+    )
+    fleet_run.add_argument(
+        "--artifacts-dir",
+        type=str,
+        default=None,
+        help="where consolidated BENCH_*.json files go (default: benchmarks/results/)",
+    )
     return parser
 
 
@@ -106,10 +187,63 @@ def run_experiment(experiment_id: str, points: Optional[int] = None) -> Experime
     return registry.get_experiment(experiment_id).run(points)
 
 
+def _build_matrix(args) -> "object":
+    """Expand the fleet matrix selected by the CLI arguments."""
+    from repro.harness import fleet as fleet_mod
+
+    if args.matrix:
+        matrix = fleet_mod.RunMatrix.from_file(args.matrix)
+        matrix = matrix.filter(tags=args.tag, ids=args.ids)
+    else:
+        name = args.name or ("-".join(args.tag) if args.tag else "fleet")
+        matrix = fleet_mod.RunMatrix.from_registry(
+            name=name,
+            tags=args.tag,
+            ids=args.ids,
+            points=args.points,
+            seed=args.seed,
+        )
+    if args.name:
+        import dataclasses
+
+        matrix = dataclasses.replace(matrix, name=args.name)
+    return matrix
+
+
+def _fleet_main(args) -> int:
+    from repro.harness import fleet as fleet_mod
+
+    matrix = _build_matrix(args)
+    if args.fleet_command == "list":
+        print(f"matrix {matrix.name}: {len(matrix)} runs")
+        for run in matrix.runs:
+            tags = ",".join(run.tags)
+            artifact = f" -> {run.artifact}" if run.artifact and run.canonical else ""
+            print(f"  {run.run_id:<40s} [{tags}]{artifact}")
+        return 0
+    if not matrix.runs:
+        print("matrix is empty (no experiment matched the filters)")
+        return 1
+    runner = fleet_mod.FleetRunner(
+        matrix,
+        results_root=args.results_dir or fleet_mod.DEFAULT_RESULTS_ROOT,
+        jobs=args.jobs,
+        resume=args.resume,
+        gate=not args.no_gate,
+        artifacts_dir=args.artifacts_dir or fleet_mod.DEFAULT_ARTIFACTS_DIR,
+    )
+    report = runner.execute()
+    print(report.to_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "fleet":
+        return _fleet_main(args)
 
     if args.command == "list":
         width = max(len(eid) for eid in EXPERIMENTS) + 1

@@ -51,12 +51,24 @@ REAL_DATASET_FACTORIES: Dict[str, Callable[..., DataStream]] = {
 }
 
 
-def make_real_stream(name: str, n_points: int, rate: float = 1000.0) -> DataStream:
-    """Instantiate one of the real-dataset surrogates by paper name."""
+def make_real_stream(
+    name: str, n_points: int, rate: float = 1000.0, seed: Optional[int] = None
+) -> DataStream:
+    """Instantiate one of the real-dataset surrogates by paper name.
+
+    ``seed=None`` keeps each surrogate's own fixed default seed, so runs
+    stay bit-identical with the historical behaviour unless an explicit
+    seed (e.g. from ``fleet run --seed``) is threaded through.
+    """
     if name not in REAL_DATASET_FACTORIES:
         known = ", ".join(sorted(REAL_DATASET_FACTORIES))
         raise KeyError(f"unknown dataset {name!r}; known: {known}")
-    return REAL_DATASET_FACTORIES[name](n_points=n_points, rate=rate)
+    return REAL_DATASET_FACTORIES[name](n_points=n_points, rate=rate, **_seed_kw(seed))
+
+
+def _seed_kw(seed: Optional[int]) -> Dict[str, int]:
+    """``{"seed": seed}`` when an explicit seed is set, else nothing."""
+    return {} if seed is None else {"seed": seed}
 
 
 def choose_radius(
@@ -169,7 +181,9 @@ def default_algorithms(
 # --------------------------------------------------------------------- #
 # Table 2 — dataset inventory
 # --------------------------------------------------------------------- #
-def experiment_table2(surrogate_points: int = 2000) -> ExperimentResult:
+def experiment_table2(
+    surrogate_points: int = 2000, seed: Optional[int] = None
+) -> ExperimentResult:
     """Table 2: the dataset inventory (paper values + surrogate properties)."""
     result = ExperimentResult(
         experiment_id="table2",
@@ -178,12 +192,15 @@ def experiment_table2(surrogate_points: int = 2000) -> ExperimentResult:
     result.add_table("paper", dataset_catalog())
 
     generated_rows = []
+    seed_kw = _seed_kw(seed)
     generators = {
-        "SDS": lambda: SDSGenerator(n_points=surrogate_points).generate(),
-        "HDS-10d": lambda: HDSGenerator(dimension=10, n_points=surrogate_points).generate(),
-        "KDDCUP99": lambda: kddcup99_surrogate(n_points=surrogate_points),
-        "CoverType": lambda: covertype_surrogate(n_points=surrogate_points),
-        "PAMAP2": lambda: pamap2_surrogate(n_points=surrogate_points),
+        "SDS": lambda: SDSGenerator(n_points=surrogate_points, **seed_kw).generate(),
+        "HDS-10d": lambda: HDSGenerator(
+            dimension=10, n_points=surrogate_points, **seed_kw
+        ).generate(),
+        "KDDCUP99": lambda: kddcup99_surrogate(n_points=surrogate_points, **seed_kw),
+        "CoverType": lambda: covertype_surrogate(n_points=surrogate_points, **seed_kw),
+        "PAMAP2": lambda: pamap2_surrogate(n_points=surrogate_points, **seed_kw),
     }
     for name, factory in generators.items():
         stream = factory()
@@ -208,6 +225,7 @@ def experiment_response_time(
     algorithms: Sequence[str] = ("EDMStream", "D-Stream", "DenStream", "DBSTREAM"),
     n_points: int = 10000,
     checkpoint_every: int = 2500,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 9: average response time vs stream length, per dataset and algorithm."""
     result = ExperimentResult(
@@ -216,7 +234,7 @@ def experiment_response_time(
     )
     summary_rows = []
     for dataset in datasets:
-        stream = make_real_stream(dataset, n_points)
+        stream = make_real_stream(dataset, n_points, seed=seed)
         radius = choose_radius(stream)
         competitors = default_algorithms(stream, radius=radius, include=algorithms)
         runner = StreamRunner(
@@ -245,6 +263,7 @@ def experiment_throughput(
     algorithms: Sequence[str] = ("EDMStream", "D-Stream", "DenStream", "DBSTREAM", "MR-Stream"),
     n_points: int = 10000,
     checkpoint_every: int = 2500,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 10: throughput (points per second) vs stream length.
 
@@ -263,7 +282,7 @@ def experiment_throughput(
     )
     summary_rows = []
     for dataset in datasets:
-        stream = make_real_stream(dataset, n_points)
+        stream = make_real_stream(dataset, n_points, seed=seed)
         radius = choose_radius(stream)
         competitors = default_algorithms(stream, radius=radius, include=algorithms)
         runner = StreamRunner(checkpoint_every=checkpoint_every, evaluate_quality=False)
@@ -299,6 +318,7 @@ def experiment_batch_throughput(
     datasets: Sequence[str] = ("SDS", "HDS-10d", "KDDCUP99", "CoverType", "PAMAP2"),
     batch_sizes: Sequence[int] = (64, 256),
     n_points: int = 16000,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 10 extension: micro-batch vs sequential ingestion throughput.
 
@@ -320,14 +340,18 @@ def experiment_batch_throughput(
     rows = []
     for dataset in datasets:
         if dataset == "SDS":
-            stream = SDSGenerator(n_points=n_points, rate=1000.0, seed=7).generate()
+            stream = SDSGenerator(
+                n_points=n_points, rate=1000.0, seed=7 if seed is None else seed
+            ).generate()
             radius = 0.3
         elif dataset.startswith("HDS"):
             dimension = int(dataset.split("-")[1].rstrip("d")) if "-" in dataset else 10
-            stream = HDSGenerator(dimension=dimension, n_points=n_points).generate()
+            stream = HDSGenerator(
+                dimension=dimension, n_points=n_points, **_seed_kw(seed)
+            ).generate()
             radius = HDSGenerator.paper_radius(dimension)
         else:
-            stream = make_real_stream(dataset, n_points)
+            stream = make_real_stream(dataset, n_points, seed=seed)
             radius = choose_radius(stream)
 
         def make_model() -> EDMStream:
@@ -642,6 +666,7 @@ def experiment_filtering(
     datasets: Sequence[str] = ("KDDCUP99", "CoverType", "PAMAP2"),
     n_points: int = 20000,
     checkpoint_every: int = 2500,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 11: accumulated dependency-update time without/with the filters."""
     variants = {
@@ -655,7 +680,7 @@ def experiment_filtering(
     )
     summary_rows = []
     for dataset in datasets:
-        stream = make_real_stream(dataset, n_points)
+        stream = make_real_stream(dataset, n_points, seed=seed)
         radius = choose_radius(stream)
         for variant, flags in variants.items():
             model = EDMStream(radius=radius, stream_rate=stream.rate, **flags)
@@ -694,6 +719,7 @@ def experiment_dimensions(
     algorithms: Sequence[str] = ("EDMStream", "D-Stream", "DenStream", "DBSTREAM", "MR-Stream"),
     n_points: int = 5000,
     checkpoint_every: int = 2500,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 12: response time vs data dimensionality on the HDS streams."""
     result = ExperimentResult(
@@ -706,7 +732,9 @@ def experiment_dimensions(
     }
     rows = []
     for dimension in dimensions:
-        stream = HDSGenerator(dimension=dimension, n_points=n_points).generate()
+        stream = HDSGenerator(
+            dimension=dimension, n_points=n_points, **_seed_kw(seed)
+        ).generate()
         radius = HDSGenerator.paper_radius(dimension)
         competitors = default_algorithms(stream, radius=radius, include=algorithms)
         runner = StreamRunner(checkpoint_every=checkpoint_every, evaluate_quality=False)
@@ -736,6 +764,7 @@ def experiment_quality(
     n_points: int = 10000,
     checkpoint_every: int = 2500,
     quality_window: int = 400,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 13: CMM over the stream for EDMStream and the baselines."""
     result = ExperimentResult(
@@ -744,7 +773,7 @@ def experiment_quality(
     )
     rows = []
     for dataset in datasets:
-        stream = make_real_stream(dataset, n_points)
+        stream = make_real_stream(dataset, n_points, seed=seed)
         radius = choose_radius(stream)
         competitors = default_algorithms(stream, radius=radius, include=algorithms)
         runner = StreamRunner(
@@ -773,13 +802,14 @@ def experiment_stream_rate(
     n_points: int = 10000,
     checkpoint_every: int = 2500,
     quality_window: int = 400,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 14: EDMStream's CMM when the same stream arrives at different rates."""
     result = ExperimentResult(
         experiment_id="fig14",
         description="EDMStream cluster quality (CMM) at different stream rates",
     )
-    base_stream = make_real_stream(dataset, n_points)
+    base_stream = make_real_stream(dataset, n_points, seed=seed)
     radius = choose_radius(base_stream)
     rows = []
     for rate in rates:
@@ -809,6 +839,7 @@ def experiment_reservoir(
     rates: Sequence[float] = (1000.0, 5000.0, 10000.0),
     datasets: Sequence[str] = ("CoverType", "PAMAP2"),
     n_points: int = 10000,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 16: measured outlier-reservoir size vs its theoretical upper bound."""
     result = ExperimentResult(
@@ -817,7 +848,7 @@ def experiment_reservoir(
     )
     rows = []
     for dataset in datasets:
-        base_stream = make_real_stream(dataset, n_points)
+        base_stream = make_real_stream(dataset, n_points, seed=seed)
         radius = choose_radius(base_stream)
         for rate in rates:
             stream = base_stream.with_rate(rate)
@@ -855,13 +886,14 @@ def experiment_radius(
     n_points: int = 10000,
     checkpoint_every: int = 2500,
     quality_window: int = 400,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 17: cluster quality and response time when varying r."""
     result = ExperimentResult(
         experiment_id="fig17",
         description="Effect of the cluster-cell radius r (CMM and response time)",
     )
-    stream = make_real_stream(dataset, n_points)
+    stream = make_real_stream(dataset, n_points, seed=seed)
     rows = []
     for percentile in percentiles:
         radius = choose_radius(stream, percentile=percentile)
@@ -903,13 +935,14 @@ def experiment_dptree_ablation(
     dataset: str = "CoverType",
     n_points: int = 10000,
     checkpoint_every: int = 2500,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """DP-Tree ablation: EDMStream vs the same cells with periodic batch DP."""
     result = ExperimentResult(
         experiment_id="ablation_dptree",
         description="Incremental DP-Tree maintenance vs periodic batch DP reclustering",
     )
-    stream = make_real_stream(dataset, n_points)
+    stream = make_real_stream(dataset, n_points, seed=seed)
     radius = choose_radius(stream)
     competitors = default_algorithms(
         stream, radius=radius, include=("EDMStream", "Periodic-DP")

@@ -1,9 +1,30 @@
-"""Result containers used by the benchmark harness."""
+"""Result containers used by the benchmark harness.
+
+Every container round-trips through plain JSON (``to_payload`` /
+``from_payload``) so the fleet runner can persist one durable
+``result.json`` per run and rebuild the full :class:`ExperimentResult`
+when resuming or consolidating benchmark artifacts.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+
+def jsonify(value: Any) -> Any:
+    """Coerce ``value`` (possibly holding numpy scalars/arrays) to plain JSON types."""
+    if isinstance(value, dict):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist"):  # numpy array
+        return value.tolist()
+    return str(value)
 
 
 @dataclass
@@ -35,6 +56,21 @@ class SeriesResult:
     def as_rows(self) -> List[Dict[str, float]]:
         """The series as a list of {x_label: x, y_label: y} rows."""
         return [{self.x_label: x, self.y_label: y} for x, y in zip(self.x, self.y)]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict representation (inverse of :meth:`from_payload`)."""
+        return {
+            "name": self.name,
+            "x": [float(v) for v in self.x],
+            "y": [float(v) for v in self.y],
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SeriesResult":
+        """Rebuild a series from :meth:`to_payload` output."""
+        return cls(**payload)
 
 
 @dataclass
@@ -93,6 +129,29 @@ class RunMetrics:
             return 0.0
         return sum(self.cmm) / len(self.cmm)
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict representation (inverse of :meth:`from_payload`)."""
+        return jsonify(
+            {
+                "algorithm": self.algorithm,
+                "stream_name": self.stream_name,
+                "n_points": self.n_points,
+                "total_seconds": self.total_seconds,
+                "checkpoints": self.checkpoints,
+                "response_time_us": self.response_time_us,
+                "throughput": self.throughput,
+                "clustering_request_ms": self.clustering_request_ms,
+                "cmm": self.cmm,
+                "n_clusters": self.n_clusters,
+                "extras": self.extras,
+            }
+        )
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RunMetrics":
+        """Rebuild run metrics from :meth:`to_payload` output."""
+        return cls(**payload)
+
 
 @dataclass
 class ExperimentResult:
@@ -112,6 +171,39 @@ class ExperimentResult:
     def add_table(self, key: str, rows: List[Dict[str, Any]]) -> None:
         """Register a named table (list of row dicts)."""
         self.tables[key] = rows
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict representation (inverse of :meth:`from_payload`).
+
+        The fleet runner persists this as each run's durable ``result.json``;
+        resuming a matrix rebuilds the result from the payload instead of
+        re-executing the run, so everything the benchmark artifacts and gates
+        consume (tables, series, metadata, per-run metrics) must survive the
+        round trip.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "series": {key: s.to_payload() for key, s in self.series.items()},
+            "tables": jsonify(self.tables),
+            "runs": [run.to_payload() for run in self.runs],
+            "metadata": jsonify(self.metadata),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        """Rebuild an experiment result from :meth:`to_payload` output."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            description=payload["description"],
+            series={
+                key: SeriesResult.from_payload(item)
+                for key, item in payload.get("series", {}).items()
+            },
+            tables=dict(payload.get("tables", {})),
+            runs=[RunMetrics.from_payload(item) for item in payload.get("runs", [])],
+            metadata=dict(payload.get("metadata", {})),
+        )
 
     def to_text(self) -> str:
         """Render every table and series of the experiment as plain text."""

@@ -16,7 +16,6 @@ The runner reproduces the measurement methodology of Section 6:
 from __future__ import annotations
 
 import time
-import warnings
 from collections import deque
 from typing import Any, Deque, Iterable, Optional
 
@@ -113,25 +112,10 @@ class StreamRunner:
     ) -> None:
         request_seconds = 0.0
         if self.request_clustering_at_checkpoints:
-            request = getattr(algorithm, "request_clustering", None)
             started = time.perf_counter()
-            if request is not None:
-                # Protocol path: the offline step publishes an immutable
-                # ClusterSnapshot; queries below are served from it.
-                request()
-            else:
-                # Legacy duck-typed path for objects predating the
-                # StreamClusterer protocol.
-                warnings.warn(
-                    "algorithms without request_clustering() are deprecated; "
-                    "implement the repro.api.StreamClusterer protocol instead "
-                    "of the dict-returning clusters() surface",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-                clusters = getattr(algorithm, "clusters", None)
-                if clusters is not None:
-                    clusters()
+            # Protocol path: the offline step publishes an immutable
+            # ClusterSnapshot; queries below are served from it.
+            algorithm.request_clustering()
             request_seconds = time.perf_counter() - started
 
         total_seconds = learn_seconds + request_seconds

@@ -10,8 +10,7 @@ The contracts under test, per ISSUE 2:
   bit-identical after it, and its arrays reject writes;
 * snapshot versions strictly increase across publications;
 * stable cluster ids carry across snapshots that share surviving clusters;
-* ``learn_many`` accepts StreamPoints and raw values on every clusterer;
-* the shimmed legacy entry points emit ``DeprecationWarning``.
+* ``learn_many`` accepts StreamPoints and raw values on every clusterer.
 """
 
 import numpy as np
@@ -283,42 +282,6 @@ class TestGridSnapshots:
         spec = GridSpec(width=0.25, origin=0.0, divisions=4, labels={(3,): 1})
         assert spec.keys_of(np.asarray([[99.0]])) == [(3,)]
         assert spec.keys_of(np.asarray([[-99.0]])) == [(0,)]
-
-
-class TestDeprecations:
-    def test_cell_assignment_warns(self):
-        model = EDMStream(radius=0.8, stream_rate=100.0)
-        model.learn_many(two_blob_points(n=100))
-        with pytest.warns(DeprecationWarning, match="cell_assignment"):
-            legacy = model.cell_assignment()
-        assert legacy == model.request_clustering().cell_assignment()
-
-    def test_baselines_base_module_warns_on_import(self):
-        import importlib
-        import sys
-
-        sys.modules.pop("repro.baselines.base", None)
-        with pytest.warns(DeprecationWarning, match="repro.baselines.base"):
-            importlib.import_module("repro.baselines.base")
-
-    def test_runner_warns_on_duck_typed_clusters_fallback(self):
-        from repro.harness.runner import StreamRunner
-
-        class LegacyClusterer:
-            n_clusters = 1
-
-            def learn_one(self, values, timestamp=None, label=None):
-                return 0
-
-            def predict_one(self, values):
-                return 0
-
-            def clusters(self):
-                return {0: [0]}
-
-        runner = StreamRunner(checkpoint_every=10, evaluate_quality=False)
-        with pytest.warns(DeprecationWarning, match="request_clustering"):
-            runner.run(LegacyClusterer(), two_blob_points(n=20))
 
 
 class TestSnapshotQueryPerformance:

@@ -78,3 +78,60 @@ class TestExecution:
     def test_run_command_prints_to_stdout(self, capsys):
         assert main(["run", "table2", "--points", "300"]) == 0
         assert "Datasets" in capsys.readouterr().out
+
+
+class TestFleetCommand:
+    def test_fleet_run_parses_options(self):
+        args = build_parser().parse_args(
+            [
+                "fleet", "run", "--tag", "bench", "--id", "query", "--points",
+                "500", "--seed", "7", "--jobs", "2", "--resume", "--no-gate",
+            ]
+        )
+        assert args.command == "fleet" and args.fleet_command == "run"
+        assert args.tag == ["bench"] and args.ids == ["query"]
+        assert args.points == 500 and args.seed == 7 and args.jobs == 2
+        assert args.resume and args.no_gate
+
+    def test_fleet_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet"])
+
+    def test_fleet_list_shows_planned_runs(self, capsys):
+        assert main(["fleet", "list", "--tag", "bench", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "matrix bench: 4 runs" in output
+        assert "query--seed=3" in output
+        assert "BENCH_query.json" in output
+
+    def test_fleet_list_empty_filter_is_an_error_on_run(self, capsys):
+        assert main(["fleet", "run", "--tag", "no-such-tag"]) == 1
+        assert "matrix is empty" in capsys.readouterr().out
+
+    def test_fleet_run_executes_a_registered_toy(self, tmp_path, capsys):
+        from repro.harness.results import ExperimentResult
+
+        def factory(points, seed=None, **kw):
+            result = ExperimentResult("_cli_toy", "toy")
+            result.metadata["seed"] = seed
+            return result
+
+        registry.all_experiments()
+        registry.register("_cli_toy", "toy", factory)
+        try:
+            code = main(
+                [
+                    "fleet", "run", "--id", "_cli_toy", "--seed", "9",
+                    "--jobs", "0", "--name", "clitoy",
+                    "--results-dir", str(tmp_path / "results"),
+                    "--artifacts-dir", str(tmp_path / "artifacts"),
+                ]
+            )
+            assert code == 0
+            assert "_cli_toy--seed=9" in capsys.readouterr().out
+            assert (
+                tmp_path / "results" / "clitoy" / "_cli_toy--seed=9" / "metadata.json"
+            ).is_file()
+        finally:
+            registry._REGISTRY.pop("_cli_toy", None)
+            dict.pop(EXPERIMENTS, "_cli_toy", None)

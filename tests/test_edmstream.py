@@ -116,7 +116,7 @@ class TestClustering:
     def test_cell_assignment_and_cluster_label_of_cell_agree(self, two_blob_stream):
         model = EDMStream(radius=0.5, init_size=50)
         feed(model, two_blob_stream)
-        assignment = model.cell_assignment()
+        assignment = model.request_clustering().cell_assignment()
         for cell_id, root in assignment.items():
             assert model.cluster_label_of_cell(cell_id) == root
 
