@@ -1,0 +1,12 @@
+"""Observability extension — telemetry overhead on the batch ingest path.
+
+Interleaves telemetry-off and telemetry-on ingestion of the same SDS
+stream, asserts the clusterings are identical, and emits
+``benchmarks/results/BENCH_obs.json`` with the overhead ratio and the
+instrumented run's phase breakdown for CI.  Environment knobs:
+``BENCH_OBS_POINTS``, ``BENCH_OBS_TRIALS``, ``BENCH_OBS_MAX_OVERHEAD``.
+"""
+
+from _bench_utils import spec_bench
+
+bench_obs = spec_bench("obs")

@@ -111,6 +111,9 @@ class BatchIngestor:
             return []
         model = self.model
         started = _time.perf_counter()
+        obs = model.obs
+        obs.counter("ingest_points_total").inc(len(points))
+        obs.counter("ingest_batches_total").inc()
 
         if model._numeric:
             # One C-level conversion for the whole batch; cells created from
@@ -241,8 +244,11 @@ class BatchIngestor:
             model._bounded.ensure_headroom(len(chunk_values), float(chunk_times[0]))
         self._revived.clear()
 
-        groups = self._assign_chunk(chunk_values, chunk_times, labels, start, assigned)
-        dirty = self._apply_absorptions(groups, chunk_times, labels, start)
+        obs = model.obs
+        with obs.phase("assign"):
+            groups = self._assign_chunk(chunk_values, chunk_times, labels, start, assigned)
+        with obs.phase("absorb"):
+            dirty = self._apply_absorptions(groups, chunk_times, labels, start)
 
         if self._revived and model._initialized:
             # Revived cells can come back above the active threshold without
@@ -259,7 +265,8 @@ class BatchIngestor:
 
         if model._initialized and dirty:
             started = _time.perf_counter()
-            self._repair_dependencies(dirty, float(chunk_times[-1]))
+            with obs.phase("dependency"):
+                self._repair_dependencies(dirty, float(chunk_times[-1]))
             model.dependency_update_seconds += _time.perf_counter() - started
 
     def _assign_chunk(

@@ -92,6 +92,15 @@ class EDMStreamConfig:
     sketch_revive_min:
         Smallest sketch estimate that revives a new cell; aged-out residue
         below it is ignored.
+    telemetry:
+        Observability knob (``repro.obs``).  ``None``/``False`` (default)
+        keeps telemetry off: the model holds the shared null facade, pays
+        one attribute lookup per (chunk-granularity) instrumentation point,
+        and is bit-identical to builds without the subsystem.  ``True``
+        attaches a fresh :class:`repro.obs.Telemetry`; an existing
+        :class:`~repro.obs.Telemetry` instance is used as-is (so a serving
+        publisher can share one facade across subsystems).  Telemetry only
+        observes — it never changes clustering behavior.
     """
 
     radius: float = 0.3
@@ -118,6 +127,7 @@ class EDMStreamConfig:
     sketch_bloom_capacity: int = 100_000
     sketch_bloom_error_rate: float = 0.01
     sketch_revive_min: float = 0.05
+    telemetry: object = None
 
     def __post_init__(self) -> None:
         if self.radius <= 0:
@@ -171,6 +181,15 @@ class EDMStreamConfig:
         if self.sketch_revive_min < 0.0:
             raise ValueError(
                 f"sketch_revive_min must be non-negative, got {self.sketch_revive_min}"
+            )
+        if (
+            self.telemetry is not None
+            and not isinstance(self.telemetry, bool)
+            and not hasattr(self.telemetry, "phase")
+        ):
+            raise ValueError(
+                "telemetry must be None, a bool, or a Telemetry-like object "
+                f"with a phase() method, got {self.telemetry!r}"
             )
 
     def validate_beta_range(self) -> None:

@@ -42,6 +42,7 @@ from repro.core.filters import DependencyFilter, FilterStatistics
 from repro.core.reservoir import OutlierReservoir
 from repro.core.soa import CellArrays
 from repro.distance import get_metric
+from repro.obs.timing import NULL_TELEMETRY, Telemetry
 
 
 class EDMStream(StreamClusterer):
@@ -86,6 +87,18 @@ class EDMStream(StreamClusterer):
             enable_density_filter=config.enable_density_filter,
             enable_triangle_filter=config.enable_triangle_filter,
         )
+
+        # Telemetry (repro.obs).  Off by default: the null facade makes
+        # every instrumentation point a no-op and the clustering path is
+        # bit-identical to an un-instrumented build — telemetry only
+        # observes, it never steers (enforced by tests/test_obs.py).
+        if config.telemetry is None or config.telemetry is False:
+            self.obs = NULL_TELEMETRY
+        elif config.telemetry is True:
+            self.obs = Telemetry()
+        else:
+            self.obs = config.telemetry
+        self._obs_points = self.obs.counter("ingest_points_total")
 
         self._numeric = config.metric not in ("jaccard",)
         self._metric = get_metric(config.metric)
@@ -133,6 +146,7 @@ class EDMStream(StreamClusterer):
                 tier=tier,
                 memory_cap_bytes=config.memory_cap_bytes,
             )
+            self._bounded.obs = self.obs
 
         self._tau: Optional[float] = config.tau
         self._now: float = 0.0
@@ -251,6 +265,7 @@ class EDMStream(StreamClusterer):
             self._start_time = timestamp
         self._now = max(self._now, timestamp)
         self._n_points += 1
+        self._obs_points.inc()
 
         cell_id = self._assign(point, self._now, label)
 
@@ -338,8 +353,13 @@ class EDMStream(StreamClusterer):
         :meth:`predict_many`) are served from it.
         """
         if self._latest_snapshot is None or self._published_epoch != self._epoch:
-            snapshot = self._publish_snapshot()
+            with self.obs.phase("snapshot_publish"):
+                snapshot = self._publish_snapshot()
             self._published_epoch = self._epoch
+            if self.obs.enabled:
+                self.obs.record_event(
+                    "snapshot_publish", time=self._now, version=snapshot.version
+                )
             return snapshot
         return self._latest_snapshot
 
@@ -433,6 +453,11 @@ class EDMStream(StreamClusterer):
         }
         if self._bounded is not None:
             summary["memory"] = self._bounded.stats()
+        if self.obs.enabled:
+            summary["telemetry"] = {
+                "phases": self.obs.phase_totals(),
+                "event_counts": self.obs.events.counts(),
+            }
         return summary
 
     @property
@@ -831,20 +856,34 @@ class EDMStream(StreamClusterer):
         self._last_snapshot = now
         self._last_tau_opt = now
         self.tau_history.append((now, self._tau))
-        self.evolution.observe(now, self.partition_snapshot())
+        self._record_evolution(self.evolution.observe(now, self.partition_snapshot()))
+
+    def _record_evolution(self, events: List[Any]) -> None:
+        """Mirror MONIC evolution transitions into the telemetry event ring."""
+        if not events or not self.obs.enabled:
+            return
+        for event in events:
+            self.obs.record_event(
+                f"cluster_{event.event_type.value}",
+                time=event.time,
+                old_clusters=list(event.old_clusters),
+                new_clusters=list(event.new_clusters),
+            )
 
     def _periodic_work(self, now: float) -> None:
         if now - self._last_maintenance >= self.config.maintenance_interval:
-            self._maintenance(now)
+            with self.obs.phase("maintenance"):
+                self._maintenance(now)
             self._last_maintenance = now
         if (
             self.config.adaptive_tau
             and now - self._last_tau_opt >= self.config.tau_reoptimize_interval
         ):
-            self._reoptimize_tau(now)
+            with self.obs.phase("tau_search"):
+                self._reoptimize_tau(now)
             self._last_tau_opt = now
         if now - self._last_snapshot >= self.config.snapshot_interval:
-            self.evolution.observe(now, self.partition_snapshot())
+            self._record_evolution(self.evolution.observe(now, self.partition_snapshot()))
             self._last_snapshot = now
 
     def _maintenance(self, now: float) -> None:

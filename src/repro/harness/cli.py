@@ -8,6 +8,7 @@ Usage::
     python -m repro fleet list --tag bench
     python -m repro fleet run --tag bench --resume --jobs 4
     python -m repro fleet run --matrix nightly.toml --seed 7
+    python -m repro stats <token> --interval 1.0
 
 Every experiment id corresponds to one table or figure of the paper (see
 DESIGN.md) or one of the repo's extensions (``serve``, ``memory``); ``run``
@@ -15,7 +16,10 @@ executes the driver and prints (or writes) the rendered tables and series.
 ``fleet`` expands a run matrix over the registry (optionally from a
 TOML/JSON config), executes it on a worker pool with one durable result
 directory per run, resumes interrupted matrices, emits the consolidated
-``BENCH_*.json`` artifacts, and enforces the registry gates.
+``BENCH_*.json`` artifacts, and enforces the registry gates.  ``stats``
+attaches read-only to a live serving cluster's shared-memory stats block
+and prints per-worker QPS / latency quantiles / staleness plus the ingest
+phase breakdown (see :mod:`repro.obs.export`).
 
 The id table is *generated* from :mod:`repro.harness.registry` — the CLI
 holds no experiment list of its own, so drivers registered there appear in
@@ -179,6 +183,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="where consolidated BENCH_*.json files go (default: benchmarks/results/)",
     )
+
+    stats = subparsers.add_parser(
+        "stats", help="live stats of a running serving cluster (by token)"
+    )
+    stats.add_argument("token", help="serving-cluster token (ServingCluster.token)")
+    stats.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between the two stats reads that rates are computed from",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the raw report as JSON instead of the rendered table",
+    )
     return parser
 
 
@@ -244,6 +265,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "fleet":
         return _fleet_main(args)
+
+    if args.command == "stats":
+        from repro.obs.export import stats_main
+
+        return stats_main(args.token, interval_s=args.interval, as_json=args.as_json)
 
     if args.command == "list":
         width = max(len(eid) for eid in EXPERIMENTS) + 1

@@ -1174,3 +1174,97 @@ def experiment_memory(
     result.metadata["cap_fraction"] = cap_fraction
     result.metadata["batch_size"] = batch_size
     return result
+
+
+def experiment_obs_overhead(
+    n_points: int = 16000,
+    batch_size: int = 256,
+    trials: int = 3,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Telemetry overhead: batch ingest with metrics on vs off.
+
+    The same SDS stream is ingested through identical EDMStream
+    configurations, alternating telemetry-off (``telemetry=None``, the
+    null-object fast path) and telemetry-on (a live
+    :class:`~repro.obs.Telemetry` with counters, phase timers and the
+    event ring) trials.  Modes are interleaved and the best-of-``trials``
+    wall clock is compared, so thermal drift cannot masquerade as
+    instrumentation cost.  The run also asserts the observability contract
+    that instrumentation is *observational only*: both modes must produce
+    the identical clustering.  Emitted to ``BENCH_obs.json`` by
+    ``benchmarks/bench_obs.py`` and gated in CI at
+    ``BENCH_OBS_MAX_OVERHEAD`` (default 5%).
+    """
+    import time as _time
+
+    from repro.obs import Telemetry
+
+    result = ExperimentResult(
+        experiment_id="obs",
+        description="Telemetry overhead: batch ingest with metrics on vs off",
+    )
+
+    def canonical(model: EDMStream) -> Dict[Any, Any]:
+        seed_of = {cid: tuple(model.tree.get(cid).seed) for cid in model.tree.cell_ids()}
+        return {
+            seed_of[root]: frozenset(seed_of[member] for member in members)
+            for root, members in model.partition_snapshot().items()
+        }
+
+    best: Dict[str, float] = {"off": float("inf"), "on": float("inf")}
+    per_trial: Dict[str, List[float]] = {"off": [], "on": []}
+    partitions: Dict[str, Any] = {}
+    clusters: Dict[str, int] = {}
+    telemetry: Optional[Telemetry] = None
+    for _ in range(trials):
+        for mode in ("off", "on"):
+            obs = Telemetry() if mode == "on" else None
+            stream = SDSGenerator(n_points=n_points, rate=1000.0, seed=seed).generate()
+            model = EDMStream(
+                radius=0.3, beta=0.0021, stream_rate=stream.rate, telemetry=obs
+            )
+            started = _time.perf_counter()
+            model.learn_many(stream, batch_size=batch_size)
+            elapsed = _time.perf_counter() - started
+            per_trial[mode].append(elapsed)
+            best[mode] = min(best[mode], elapsed)
+            partitions[mode] = canonical(model)
+            clusters[mode] = model.n_clusters
+            if mode == "on":
+                telemetry = obs
+
+    overhead = best["on"] / best["off"] - 1.0
+    identical = partitions["off"] == partitions["on"] and clusters["off"] == clusters["on"]
+    rows = [
+        {
+            "mode": mode,
+            "best_elapsed_s": round(best[mode], 4),
+            "points_per_second": round(n_points / best[mode], 1),
+            "trial_elapsed_s": [round(t, 4) for t in per_trial[mode]],
+            "clusters": clusters[mode],
+        }
+        for mode in ("off", "on")
+    ]
+    result.add_table("summary", rows)
+    result.add_series(
+        "overhead",
+        SeriesResult(
+            name="overhead",
+            x=list(range(1, trials + 1)),
+            y=[on / off - 1.0 for off, on in zip(per_trial["off"], per_trial["on"])],
+            x_label="trial",
+            y_label="telemetry overhead (on/off - 1)",
+        ),
+    )
+    result.metadata["n_points"] = n_points
+    result.metadata["batch_size"] = batch_size
+    result.metadata["trials"] = trials
+    result.metadata["overhead_ratio"] = round(overhead, 4)
+    result.metadata["identical_clustering"] = identical
+    if telemetry is not None:
+        result.metadata["telemetry"] = {
+            "phases": telemetry.phase_totals(),
+            "event_counts": telemetry.events.counts(),
+        }
+    return result

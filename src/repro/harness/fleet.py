@@ -364,6 +364,16 @@ def _execute_run(run_payload: Dict[str, Any], run_dir: str) -> Dict[str, Any]:
         json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+    # Drivers that ran with live telemetry (the repro.obs convention) put a
+    # phase/event breakdown into metadata["telemetry"]; persist it per run
+    # so fleet output directories carry the observability record alongside
+    # report.txt / result.json.
+    telemetry = result.metadata.get("telemetry")
+    if telemetry is not None:
+        (directory / "telemetry.json").write_text(
+            json.dumps(telemetry, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     metadata = {
         "run_id": run_payload["run_id"],
         "experiment_id": run_payload["experiment_id"],

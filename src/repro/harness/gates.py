@@ -498,6 +498,54 @@ def gate_memory(result: ExperimentResult) -> None:
         )
 
 
+def params_obs() -> Dict[str, Any]:
+    """Workload knobs: ``BENCH_OBS_POINTS`` / ``_TRIALS``."""
+    return {
+        "points": _env_int("BENCH_OBS_POINTS", 16000),
+        "trials": _env_int("BENCH_OBS_TRIALS", 3),
+    }
+
+
+def payload_obs(result: ExperimentResult) -> Dict[str, Any]:
+    """The ``BENCH_obs.json`` payload: overhead ratio + phase breakdown."""
+    return {
+        "experiment": "obs",
+        "n_points": result.metadata["n_points"],
+        "batch_size": result.metadata["batch_size"],
+        "trials": result.metadata["trials"],
+        "overhead_ratio": result.metadata["overhead_ratio"],
+        "max_overhead": _env_float("BENCH_OBS_MAX_OVERHEAD", 0.05),
+        "identical_clustering": result.metadata["identical_clustering"],
+        "telemetry": result.metadata.get("telemetry"),
+        "rows": result.tables["summary"],
+    }
+
+
+def gate_obs(result: ExperimentResult) -> None:
+    """Telemetry must be nearly free and strictly observational.
+
+    Best-of-trials ingest with telemetry on may cost at most
+    ``BENCH_OBS_MAX_OVERHEAD`` (default 5%) over telemetry off, both modes
+    must produce the identical clustering, and the instrumented run must
+    actually have recorded phase timings (the gate would otherwise pass
+    trivially on a broken no-op wiring).
+    """
+    max_overhead = _env_float("BENCH_OBS_MAX_OVERHEAD", 0.05)
+    overhead = result.metadata["overhead_ratio"]
+    assert overhead <= max_overhead, (
+        f"telemetry overhead {overhead:.1%} exceeds the {max_overhead:.0%} budget"
+    )
+    assert result.metadata["identical_clustering"], (
+        "telemetry-on produced a different clustering than telemetry-off"
+    )
+    telemetry = result.metadata.get("telemetry")
+    assert telemetry, "instrumented run recorded no telemetry metadata"
+    assign = telemetry["phases"].get("assign", {})
+    assert assign.get("count", 0) > 0, (
+        "instrumented run recorded no 'assign' phase timings — wiring is broken"
+    )
+
+
 # --------------------------------------------------------------------- #
 # The contract table
 # --------------------------------------------------------------------- #
@@ -565,6 +613,12 @@ def bench_contracts() -> Dict[str, Any]:
             artifact="BENCH_memory.json",
             payload=payload_memory,
             gate=gate_memory,
+        ),
+        "obs": BenchContract(
+            params=params_obs,
+            artifact="BENCH_obs.json",
+            payload=payload_obs,
+            gate=gate_obs,
         ),
         "fig11": BenchContract(
             params=lambda: {

@@ -309,6 +309,15 @@ def _ensure_defaults() -> None:
         50000,
     )
     entry(
+        "obs",
+        "Observability — telemetry overhead and off/on clustering identity",
+        lambda points, **kw: experiments.experiment_obs_overhead(
+            n_points=points or 16000, **kw
+        ),
+        ("scale", "bench"),
+        16000,
+    )
+    entry(
         "fig11",
         "Figure 11 — dependency-update filtering ablation",
         lambda points, **kw: experiments.experiment_filtering(

@@ -1,0 +1,56 @@
+"""Telemetry subsystem: low-overhead metrics, phase tracing, event ring.
+
+``repro.obs`` is the observability substrate for the whole reproduction:
+
+* :mod:`repro.obs.registry` — named counters / gauges / fixed-bucket
+  histograms over preallocated numpy storage, plus the null variants that
+  make the disabled path cost one attribute lookup.
+* :mod:`repro.obs.timing` — the :class:`Telemetry` facade and ``phase(...)``
+  context/decorator tracing the batch-ingest pipeline stages.
+* :mod:`repro.obs.events` — a bounded structured event ring (cluster
+  evolution, eviction-to-sketch, worker restarts, snapshot bumps).
+* :mod:`repro.obs.export` — JSON / Prometheus text exposition and the
+  ``python -m repro stats`` live serving-stats command.
+
+Wiring convention: instrumented objects hold ``self.obs``, defaulting to
+:data:`NULL_TELEMETRY`; enabling telemetry swaps in a real
+:class:`Telemetry` and changes nothing else — the off path is bit-identical
+by construction (telemetry observes, it never steers).
+"""
+
+from repro.obs.events import EVENT_KINDS, NULL_EVENT_RING, EventRing, NullEventRing
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullInstrument,
+    NullRegistry,
+    quantile_from_buckets,
+)
+from repro.obs.timing import NULL_TELEMETRY, PHASES, NullTelemetry, Telemetry, enable_telemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullInstrument",
+    "NullRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "quantile_from_buckets",
+    "EventRing",
+    "NullEventRing",
+    "NULL_EVENT_RING",
+    "EVENT_KINDS",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "PHASES",
+    "enable_telemetry",
+]

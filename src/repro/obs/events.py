@@ -1,0 +1,117 @@
+"""Bounded structured event ring for discrete telemetry occurrences.
+
+Phase timers and counters answer "where is time going"; the event ring
+answers "what just happened".  It records discrete, low-rate occurrences —
+cluster evolution transitions from the MONIC-style tracker (split / merge /
+survive / emerge / disappear), cell eviction-to-sketch and sketch revival,
+serving-worker restarts, snapshot version bumps — in a fixed-capacity ring
+so memory stays bounded no matter how long the stream runs.
+
+Entries are plain tuples ``(seq, time, kind, fields)`` stored in a
+preallocated list; pushing overwrites the oldest slot once the ring is
+full.  ``seq`` is a monotonically increasing sequence number, so consumers
+can detect how many events were dropped between two reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["EventRing", "NullEventRing", "NULL_EVENT_RING", "EVENT_KINDS"]
+
+# Catalog of the event kinds the wired subsystems emit.  Free-form kinds are
+# accepted too; this tuple exists so docs and tests have one reference list.
+EVENT_KINDS = (
+    "cluster_emerge",
+    "cluster_disappear",
+    "cluster_split",
+    "cluster_merge",
+    "cluster_survive",
+    "cluster_adjust",
+    "cell_evicted",
+    "cell_revived",
+    "worker_restart",
+    "snapshot_publish",
+)
+
+
+class EventRing:
+    """Fixed-capacity ring of structured events, oldest-first on read."""
+
+    __slots__ = ("capacity", "_slots", "_seq", "_counts")
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("event ring capacity must be positive")
+        self.capacity = int(capacity)
+        self._slots: List[Optional[tuple]] = [None] * self.capacity
+        self._seq = 0
+        self._counts: Dict[str, int] = {}
+
+    def push(self, kind: str, time: float = 0.0, **fields: Any) -> int:
+        """Record one event; returns its sequence number."""
+        seq = self._seq
+        self._slots[seq % self.capacity] = (seq, float(time), kind, fields)
+        self._seq = seq + 1
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        return seq
+
+    def __len__(self) -> int:
+        return min(self._seq, self.capacity)
+
+    @property
+    def total(self) -> int:
+        """Events ever pushed (including those overwritten)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten before they could be read."""
+        return max(0, self._seq - self.capacity)
+
+    def counts(self) -> Dict[str, int]:
+        """Lifetime per-kind totals (not bounded by capacity)."""
+        return dict(self._counts)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Retained events oldest-first as plain dicts."""
+        if self._seq == 0:
+            return []
+        start = max(0, self._seq - self.capacity)
+        out = []
+        for seq in range(start, self._seq):
+            slot = self._slots[seq % self.capacity]
+            if slot is None:  # pragma: no cover - defensive
+                continue
+            out.append(
+                {"seq": slot[0], "time": slot[1], "kind": slot[2], **slot[3]}
+            )
+        return out
+
+
+class NullEventRing:
+    """No-op ring for the disabled-telemetry path."""
+
+    __slots__ = ()
+
+    capacity = 0
+    total = 0
+    dropped = 0
+
+    def push(self, kind: str, time: float = 0.0, **fields: Any) -> int:
+        """Do nothing."""
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def counts(self) -> Dict[str, int]:
+        """Always empty."""
+        return {}
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Always empty."""
+        return []
+
+
+NULL_EVENT_RING = NullEventRing()

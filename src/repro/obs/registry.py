@@ -1,0 +1,330 @@
+"""Named counters, gauges, and fixed-bucket histograms on preallocated arrays.
+
+The registry is the storage layer of the telemetry subsystem
+(:mod:`repro.obs`).  Design constraints, in order:
+
+1. **Hot-path increments must not allocate.**  Every instrument is a view
+   into a preallocated ``float64`` numpy array owned by the registry; an
+   increment is a single in-place element write.  Instruments are created
+   once (at wiring time) and cached by name, so steady-state operation
+   performs no dictionary mutation and no object construction.
+2. **The disabled path must cost one attribute lookup.**
+   :data:`NULL_REGISTRY` hands out a single shared :class:`NullInstrument`
+   whose ``inc``/``set``/``observe`` bodies are empty.  Code holding a null
+   instrument pays one bound-method call per event; code holding the null
+   registry pays one dictionary-free method call per instrument request.
+3. **Snapshots are cheap and copy-out.**  :meth:`MetricsRegistry.snapshot`
+   returns plain Python floats/lists so the result can be serialised or
+   shipped across a pipe without touching the live arrays again.
+
+Histograms use fixed, caller-supplied bucket upper bounds (Prometheus
+``le`` semantics: a sample lands in the first bucket whose bound is >= the
+value, with an implicit ``+Inf`` overflow bucket).  Quantiles are estimated
+from the cumulative bucket counts, which is exactly the estimate a
+Prometheus ``histogram_quantile`` would produce.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullInstrument",
+    "NullRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS_S",
+]
+
+# Log-spaced latency bounds (seconds): 10us .. ~163ms, then +Inf overflow.
+# Shared by the serving stats block and the frontend histograms so the two
+# surfaces report comparable quantiles.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = tuple(1e-5 * 2.0**i for i in range(15))
+
+
+class Counter:
+    """Monotonic counter backed by one slot of the registry's value array."""
+
+    __slots__ = ("name", "_values", "_index")
+
+    def __init__(self, name: str, values: np.ndarray, index: int):
+        self.name = name
+        self._values = values
+        self._index = index
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (in-place array write; no allocation)."""
+        self._values[self._index] += amount
+
+    @property
+    def value(self) -> float:
+        """Current total as a plain float."""
+        return float(self._values[self._index])
+
+
+class Gauge:
+    """Point-in-time value backed by one slot of the registry's value array."""
+
+    __slots__ = ("name", "_values", "_index")
+
+    def __init__(self, name: str, values: np.ndarray, index: int):
+        self.name = name
+        self._values = values
+        self._index = index
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge (in-place array write)."""
+        self._values[self._index] = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (negative amounts allowed)."""
+        self._values[self._index] += amount
+
+    @property
+    def value(self) -> float:
+        """Current value as a plain float."""
+        return float(self._values[self._index])
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (upper-bound) semantics.
+
+    ``buckets`` are strictly increasing finite upper bounds; an implicit
+    ``+Inf`` bucket catches overflow.  Counts, sum, and count live in one
+    preallocated array (``len(buckets) + 3`` slots), so :meth:`observe` is
+    a ``bisect`` plus two in-place element writes.
+    """
+
+    __slots__ = ("name", "buckets", "_state")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be a non-empty increasing sequence")
+        self.name = name
+        self.buckets = bounds
+        # Layout: [bucket_0 .. bucket_n-1, overflow, sum, count]
+        self._state = np.zeros(len(bounds) + 3, dtype=np.float64)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        state = self._state
+        state[bisect_left(self.buckets, value)] += 1.0
+        state[-2] += value
+        state[-1] += 1.0
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return int(self._state[-1])
+
+    @property
+    def sum(self) -> float:
+        """Sum of recorded samples."""
+        return float(self._state[-2])
+
+    @property
+    def mean(self) -> float:
+        """Mean of recorded samples (0.0 when empty)."""
+        n = self._state[-1]
+        return float(self._state[-2] / n) if n else 0.0
+
+    def bucket_counts(self) -> List[float]:
+        """Per-bucket counts including the trailing ``+Inf`` overflow bucket."""
+        return [float(c) for c in self._state[:-2]]
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the cumulative bucket counts.
+
+        Linear interpolation within the winning bucket (the standard
+        Prometheus ``histogram_quantile`` estimate); returns the last
+        finite bound when the quantile lands in the overflow bucket.
+        """
+        return quantile_from_buckets(self.buckets, self._state[:-2], q)
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float], counts: Sequence[float], q: float
+) -> float:
+    """Quantile estimate for bucketed counts (``bounds`` exclude ``+Inf``).
+
+    ``counts`` has ``len(bounds) + 1`` entries — the final entry is the
+    overflow bucket.  Returns 0.0 when the histogram is empty.
+    """
+    total = float(sum(counts))
+    if total <= 0.0:
+        return 0.0
+    rank = max(0.0, min(1.0, q)) * total
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        previous = cumulative
+        cumulative += float(count)
+        if cumulative >= rank:
+            if i >= len(bounds):  # overflow bucket: clamp to last finite bound
+                return float(bounds[-1])
+            lower = float(bounds[i - 1]) if i > 0 else 0.0
+            upper = float(bounds[i])
+            if count <= 0.0:
+                return upper
+            return lower + (upper - lower) * (rank - previous) / float(count)
+    return float(bounds[-1])
+
+
+class MetricsRegistry:
+    """Registry of named instruments over preallocated storage.
+
+    Counters and gauges share one ``float64`` array (grown geometrically,
+    only at instrument-creation time); each histogram owns its own small
+    state array.  Requesting an existing name returns the cached instrument;
+    requesting it with a conflicting kind raises ``ValueError``.
+    """
+
+    def __init__(self, capacity: int = 64):
+        self._values = np.zeros(max(8, int(capacity)), dtype=np.float64)
+        self._used = 0
+        self._instruments: Dict[str, object] = {}
+
+    def _alloc(self) -> int:
+        if self._used == len(self._values):
+            grown = np.zeros(len(self._values) * 2, dtype=np.float64)
+            grown[: self._used] = self._values
+            # Re-point existing instruments at the new storage.
+            for instrument in self._instruments.values():
+                if isinstance(instrument, (Counter, Gauge)):
+                    instrument._values = grown
+            self._values = grown
+        index = self._used
+        self._used += 1
+        return index
+
+    def _get(self, name: str, kind: type, factory) -> object:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(existing).__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def _make_scalar(self, kind: type, name: str) -> object:
+        # _alloc may regrow (and replace) the array, so it must run before
+        # the storage reference is taken.
+        index = self._alloc()
+        return kind(name, self._values, index)
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating on first request) the counter called ``name``."""
+        return self._get(name, Counter, lambda: self._make_scalar(Counter, name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Return (creating on first request) the gauge called ``name``."""
+        return self._get(name, Gauge, lambda: self._make_scalar(Gauge, name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S
+    ) -> Histogram:
+        """Return (creating on first request) the histogram called ``name``."""
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Copy-out view: ``{name: {"kind": ..., "value"/"buckets": ...}}``."""
+        out: Dict[str, dict] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"kind": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"kind": "gauge", "value": instrument.value}
+            else:
+                hist: Histogram = instrument  # type: ignore[assignment]
+                out[name] = {
+                    "kind": "histogram",
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "buckets": list(hist.buckets),
+                    "bucket_counts": hist.bucket_counts(),
+                }
+        return out
+
+
+class NullInstrument:
+    """Shared no-op stand-in for every instrument kind.
+
+    The method bodies are empty so a disabled-telemetry call site pays one
+    bound-method call and allocates nothing (verified by
+    ``tests/test_obs.py``).
+    """
+
+    __slots__ = ()
+
+    name = "null"
+    buckets: Tuple[float, ...] = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Do nothing."""
+
+    def set(self, value: float) -> None:
+        """Do nothing."""
+
+    def observe(self, value: float) -> None:
+        """Do nothing."""
+
+    def bucket_counts(self) -> List[float]:
+        """Empty counts."""
+        return []
+
+    def quantile(self, q: float) -> float:
+        """Always 0.0."""
+        return 0.0
+
+
+NULL_INSTRUMENT = NullInstrument()
+
+
+class NullRegistry:
+    """Registry stand-in whose every instrument is :data:`NULL_INSTRUMENT`."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> NullInstrument:
+        """Return the shared null instrument."""
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> NullInstrument:
+        """Return the shared null instrument."""
+        return NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> NullInstrument:
+        """Return the shared null instrument."""
+        return NULL_INSTRUMENT
+
+    def names(self) -> List[str]:
+        """Always empty."""
+        return []
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Always empty."""
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

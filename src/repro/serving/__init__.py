@@ -23,6 +23,9 @@ no copies of the seed matrix, no locks on the live model.
 * :mod:`repro.serving.cluster` — :class:`ServingCluster`, the lifecycle
   manager: spawn publisher + workers, health-check, drain, and segment
   cleanup on shutdown or publisher crash.
+* :mod:`repro.serving.stats` — :class:`StatsBlock`, the fixed-layout
+  shared-memory stats segment the publisher and workers write their live
+  counters into, read by ``python -m repro stats``.
 
 See the "Serving tier" section of ``docs/ARCHITECTURE.md`` for the process
 diagram, the shared-memory layout contract, and staleness semantics.
@@ -37,6 +40,7 @@ from repro.serving.shm import (
     cleanup_segments,
     list_segments,
 )
+from repro.serving.stats import StatsBlock, stats_name
 from repro.serving.worker import run_worker
 
 __all__ = [
@@ -50,5 +54,7 @@ __all__ = [
     "HydratedSnapshot",
     "cleanup_segments",
     "list_segments",
+    "StatsBlock",
+    "stats_name",
     "run_worker",
 ]

@@ -32,6 +32,21 @@ __all__ = ["ServingCluster"]
 _CTX = mp.get_context("fork")
 
 
+def _describe_exit(exitcode: Optional[int]) -> str:
+    """Human-readable reason from a ``Process.exitcode``."""
+    if exitcode is None:
+        return "unknown (no exit code)"
+    if exitcode < 0:
+        try:
+            import signal as _signal
+
+            name = _signal.Signals(-exitcode).name
+        except ValueError:  # pragma: no cover - unnamed signal number
+            name = f"signal {-exitcode}"
+        return f"killed by {name}"
+    return f"exited with code {exitcode}"
+
+
 class ServingCluster:
     """One ingest process + N shared-memory query workers, managed together.
 
@@ -52,10 +67,12 @@ class ServingCluster:
         publish_every: int = 1,
         loop_stream: bool = True,
         worker_nice: int = WORKER_NICE,
+        telemetry: bool = True,
     ) -> None:
         self.token = token or f"svc{uuid.uuid4().hex[:12]}"
         self.n_workers = n_workers
         self._worker_nice = worker_nice
+        self._telemetry = telemetry
         self._stop = _CTX.Event()
         self._ingested = _CTX.Value("Q", 0)
         self._closed = False
@@ -64,6 +81,12 @@ class ServingCluster:
             "crash_cleanups": 0,
             "worker_restarts": 0,
         }
+        #: Per-worker-slot lifecycle record (restart count + last exit),
+        #: surfaced through :meth:`health_check` — see satellite note in
+        #: docs/ARCHITECTURE.md "Observability".
+        self._worker_meta: List[Dict[str, Any]] = [
+            {"restarts": 0, "last_exit_reason": None} for _ in range(n_workers)
+        ]
 
         from repro.serving.publisher import run_ingest_publisher
 
@@ -76,22 +99,27 @@ class ServingCluster:
                 "counters": self._ingested,
                 "loop_stream": loop_stream,
                 "publish_every": publish_every,
+                "telemetry": telemetry,
             },
             daemon=True,
         )
         self._publisher.start()
 
         self._workers: List[Tuple[Any, Any]] = []  # (process, parent_conn)
-        for _ in range(n_workers):
-            self._workers.append(self._spawn_worker())
+        for index in range(n_workers):
+            self._workers.append(self._spawn_worker(index))
 
-    def _spawn_worker(self) -> Tuple[Any, Any]:
+    def _spawn_worker(self, index: int) -> Tuple[Any, Any]:
         """Start one query worker on this cluster's token; returns (proc, conn)."""
         parent_conn, child_conn = _CTX.Pipe(duplex=True)
         proc = _CTX.Process(
             target=run_worker,
             args=(self.token, child_conn),
-            kwargs={"nice": self._worker_nice},
+            kwargs={
+                "nice": self._worker_nice,
+                "stats_slot": index,
+                "stats": self._telemetry,
+            },
             daemon=True,
         )
         proc.start()
@@ -187,13 +215,35 @@ class ServingCluster:
                     entry["alive"] = True
                 except (TimeoutError, RuntimeError) as exc:  # pragma: no cover
                     entry["error"] = str(exc)
+            meta = self._worker_meta[index]
+            entry["restarts"] = meta["restarts"]
+            entry["last_exit_reason"] = meta["last_exit_reason"]
             workers.append(entry)
         return {
             "token": self.token,
             "publisher_alive": publisher_alive,
             "points_ingested": self.points_ingested,
             "workers": workers,
+            "stats": self.stats(),
         }
+
+    def stats(self) -> Optional[Dict[str, Any]]:
+        """One read of the token's shared-memory stats block, or ``None``.
+
+        The raw cumulative counters (see
+        :class:`~repro.serving.stats.StatsBlock`); rates need two reads —
+        that is what ``python -m repro stats`` does.
+        """
+        try:
+            from repro.serving.stats import StatsBlock
+
+            block = StatsBlock.attach(self.token)
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+        try:
+            return block.read()
+        finally:
+            block.close()
 
     def _restart_worker(self, index: int) -> None:
         """Replace a dead worker in place: reap it, respawn on the same token."""
@@ -201,11 +251,14 @@ class ServingCluster:
         if proc.is_alive():
             proc.terminate()
         proc.join(2.0)
+        meta = self._worker_meta[index]
+        meta["restarts"] += 1
+        meta["last_exit_reason"] = _describe_exit(proc.exitcode)
         try:
             conn.close()
         except OSError:
             pass
-        self._workers[index] = self._spawn_worker()
+        self._workers[index] = self._spawn_worker(index)
 
     def summary(self) -> Dict[str, Any]:
         """Merged cluster counters: ingest progress + per-worker counters."""

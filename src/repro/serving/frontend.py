@@ -24,7 +24,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.timing import NULL_TELEMETRY
+
 __all__ = ["MicroBatchFrontend", "SnapshotBackend", "WorkerPoolBackend"]
+
+#: Power-of-two buckets for batch-size / queue-depth histograms (le bounds).
+_SIZE_BUCKETS = tuple(float(2**i) for i in range(11))  # 1 .. 1024
 
 
 class SnapshotBackend:
@@ -95,6 +100,12 @@ class MicroBatchFrontend:
     age of the oldest pending call.  Counters expose how batching behaved:
     ``queries``, ``batches``, ``size_flushes``, ``delay_flushes`` and the
     last batch's ``last_batch_size``.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, or ``None`` for the
+    no-op default) adds two histograms — ``frontend_batch_size`` observed
+    per flushed batch and ``frontend_queue_depth`` observed per arriving
+    call — so batching efficiency is visible live, not only through the
+    lifetime counters.
     """
 
     def __init__(
@@ -102,6 +113,7 @@ class MicroBatchFrontend:
         backend: Any,
         max_batch: int = 256,
         max_delay: float = 0.002,
+        telemetry: Optional[Any] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -110,6 +122,9 @@ class MicroBatchFrontend:
         self.backend = backend
         self.max_batch = max_batch
         self.max_delay = max_delay
+        self.obs = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._batch_size_hist = self.obs.histogram("frontend_batch_size", _SIZE_BUCKETS)
+        self._queue_depth_hist = self.obs.histogram("frontend_queue_depth", _SIZE_BUCKETS)
         self._pending: List[Tuple[Any, asyncio.Future]] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._stable = False
@@ -131,6 +146,7 @@ class MicroBatchFrontend:
         self._stable = stable  # batches inherit the latest caller's flag
         self._pending.append((point, future))
         self.counters["queries"] += 1
+        self._queue_depth_hist.observe(len(self._pending))
         if len(self._pending) >= self.max_batch:
             self.counters["size_flushes"] += 1
             self._flush_now()
@@ -172,6 +188,7 @@ class MicroBatchFrontend:
             return
         self.counters["batches"] += 1
         self.counters["last_batch_size"] = len(batch)
+        self._batch_size_hist.observe(len(batch))
         self.counters["last_version"] = meta.get("version")
         self.counters["last_staleness_s"] = meta.get("staleness_s")
         for (_, future), label in zip(batch, labels):

@@ -134,6 +134,7 @@ def run_ingest_publisher(
     counters: Optional[Any] = None,
     loop_stream: bool = True,
     publish_every: int = 1,
+    telemetry: bool = True,
 ) -> None:
     """Ingest-process body: learn in chunks, publish a snapshot per chunk.
 
@@ -141,27 +142,71 @@ def run_ingest_publisher(
     can sample for points ingested; ``stop_event`` ends the loop.  With
     ``loop_stream`` the stream is replayed so ingestion stays busy for the
     whole measurement window (the serving benchmark's steady-state load).
+
+    With ``telemetry`` (the default) the publisher maintains the token's
+    shared-memory stats block (:class:`~repro.serving.stats.StatsBlock`):
+    points ingested, publish count and — for models using the
+    ``repro.obs`` convention — the live ingest phase breakdown, refreshed
+    after every publish.  This is what ``python -m repro stats`` reads.
+    Stats publication is best-effort and observational only: a stats
+    failure disables it without touching ingestion, and the model's
+    clustering output is unchanged either way.
     """
     publisher = ShmSnapshotPublisher(token)
     model = model_factory()
+    stats = None
+    obs = None
+    if telemetry:
+        try:
+            from repro.obs.timing import NULL_TELEMETRY, enable_telemetry
+            from repro.serving.stats import StatsBlock
+
+            stats, _ = StatsBlock.create_or_attach(token)
+            obs = getattr(model, "obs", None)
+            if obs is NULL_TELEMETRY:
+                obs = enable_telemetry(model)
+        except Exception:  # pragma: no cover - stats must never block ingest
+            if stats is not None:
+                stats.close()
+            stats = None
+            obs = None
+    total_points = 0
+
+    def _publish() -> None:
+        nonlocal total_points
+        publisher.publish(model.snapshot())
+        if stats is not None:
+            stats.publisher_update(
+                total_points,
+                publisher.counters["publishes"],
+                publisher.counters["last_published_at"],
+                obs.phase_totals() if obs is not None else None,
+            )
+
     try:
         while True:
             for chunk_index, chunk in enumerate(_chunks(stream_factory(), chunk_size)):
                 if stop_event is not None and stop_event.is_set():
                     return
                 model.learn_many(chunk)
+                total_points += len(chunk)
                 if chunk_index % publish_every == 0:
-                    publisher.publish(model.snapshot())
+                    _publish()
                 if counters is not None:
                     with counters.get_lock():
                         counters.value += len(chunk)
-            publisher.publish(model.snapshot())
+            _publish()
             if not loop_stream:
                 break
         if stop_event is not None:
             while not stop_event.is_set():
                 time.sleep(0.01)
     finally:
+        if stats is not None:
+            try:
+                stats.close()
+            except Exception:  # pragma: no cover
+                pass
         publisher.close(unlink=False)
 
 

@@ -1,0 +1,283 @@
+"""Live serving statistics in a small shared-memory segment.
+
+One fixed-size segment per serving token, named
+``edmserv-{token}-stats`` — right next to the seqlock control block and
+swept by the same prefix-based :func:`repro.serving.shm.cleanup_segments`.
+It is the data source for ``python -m repro stats`` and for the stats
+section of :meth:`repro.serving.cluster.ServingCluster.health_check`.
+
+Layout contract (all slots are ``float64``; also documented in
+``docs/ARCHITECTURE.md`` under "Observability"):
+
+* **Header** (4 slots): layout version, max worker slots, phase count,
+  latency bucket count.  Readers validate the layout version.
+* **Publisher section** (``4 + 2 * n_phases`` slots): points ingested,
+  publish count, wall-clock of the last publish, publisher heartbeat,
+  then accumulated seconds per ingest phase, then call counts per phase
+  (phase order = :data:`repro.obs.timing.PHASES`).
+* **Worker slots** (``max_workers`` fixed slots): pid, heartbeat, queries,
+  batches, busy seconds, snapshot version, snapshot staleness, latency
+  sum, latency count, then per-bucket latency counts
+  (:data:`repro.obs.registry.DEFAULT_LATENCY_BUCKETS_S` bounds plus one
+  overflow bucket).
+
+Concurrency contract: **every field has exactly one writer** (the
+publisher owns its section; each worker owns its claimed slot), and all
+writes are plain 8-byte stores.  Readers take no lock, so a multi-field
+read may be *torn* across a concurrent update — for monitoring output
+that is an accepted, documented trade: a sample that mixes two adjacent
+batches is still a valid sample.  Rates (QPS) must therefore be computed
+by differencing two reads, never from a single absolute value.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS_S
+from repro.obs.timing import PHASES
+from repro.serving.shm import _create_segment, attach_segment, segment_prefix, unlink_segment
+
+__all__ = ["StatsBlock", "stats_name", "LATENCY_BUCKETS_S", "MAX_WORKER_SLOTS"]
+
+LAYOUT_VERSION = 1
+MAX_WORKER_SLOTS = 16
+LATENCY_BUCKETS_S: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S
+_N_PHASES = len(PHASES)
+_N_BUCKETS = len(LATENCY_BUCKETS_S) + 1  # + overflow
+
+# Header slots.
+_H_LAYOUT, _H_MAX_WORKERS, _H_N_PHASES, _H_N_BUCKETS = 0, 1, 2, 3
+_HEADER_SLOTS = 4
+
+# Publisher section slots (relative to _HEADER_SLOTS).
+_P_POINTS, _P_PUBLISHES, _P_PUBLISHED_AT, _P_HEARTBEAT = 0, 1, 2, 3
+_P_PHASE_SECONDS = 4
+_P_PHASE_COUNTS = _P_PHASE_SECONDS + _N_PHASES
+_PUBLISHER_SLOTS = 4 + 2 * _N_PHASES
+
+# Worker slot fields.
+_W_PID, _W_HEARTBEAT, _W_QUERIES, _W_BATCHES, _W_BUSY = 0, 1, 2, 3, 4
+_W_VERSION, _W_STALENESS, _W_LAT_SUM, _W_LAT_COUNT = 5, 6, 7, 8
+_W_BUCKET0 = 9
+_WORKER_SLOT_SIZE = _W_BUCKET0 + _N_BUCKETS
+
+_TOTAL_SLOTS = _HEADER_SLOTS + _PUBLISHER_SLOTS + MAX_WORKER_SLOTS * _WORKER_SLOT_SIZE
+_SEGMENT_SIZE = _TOTAL_SLOTS * 8
+
+
+def stats_name(token: str) -> str:
+    """Name of the stats segment for a serving token."""
+    return f"{segment_prefix(token)}stats"
+
+
+class StatsBlock:
+    """Typed accessor over the stats segment (create, claim, write, read)."""
+
+    def __init__(self, shm, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._array: Optional[np.ndarray] = np.frombuffer(
+            shm.buf, dtype=np.float64, count=_TOTAL_SLOTS
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create_or_attach(cls, token: str) -> Tuple["StatsBlock", bool]:
+        """Create the stats segment, or attach the existing one.
+
+        Publisher and workers race to be first; whoever wins zero-fills
+        and stamps the header.  Returns ``(block, created)``.
+        """
+        name = stats_name(token)
+        try:
+            shm = _create_segment(name, _SEGMENT_SIZE)
+        except FileExistsError:
+            return cls(attach_segment(name), owner=False), False
+        block = cls(shm, owner=True)
+        array = block._array
+        array[:] = 0.0
+        array[_H_LAYOUT] = LAYOUT_VERSION
+        array[_H_MAX_WORKERS] = MAX_WORKER_SLOTS
+        array[_H_N_PHASES] = _N_PHASES
+        array[_H_N_BUCKETS] = _N_BUCKETS
+        return block, True
+
+    @classmethod
+    def attach(cls, token: str) -> "StatsBlock":
+        """Attach read-only (raises ``FileNotFoundError`` when absent)."""
+        block = cls(attach_segment(stats_name(token)), owner=False)
+        layout = int(block._array[_H_LAYOUT])
+        if layout not in (0, LAYOUT_VERSION):  # 0: racing creator, pre-stamp
+            block.close()
+            raise ValueError(f"unsupported stats-segment layout version {layout}")
+        return block
+
+    @property
+    def name(self) -> str:
+        """Segment name."""
+        return self._shm.name
+
+    # ------------------------------------------------------------------ #
+    # publisher side (single writer: the ingest publisher process)
+    # ------------------------------------------------------------------ #
+    def publisher_update(
+        self,
+        points: float,
+        publishes: float,
+        published_at: float,
+        phase_totals: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> None:
+        """Refresh the publisher section after a publish."""
+        base = _HEADER_SLOTS
+        array = self._array
+        array[base + _P_POINTS] = points
+        array[base + _P_PUBLISHES] = publishes
+        array[base + _P_PUBLISHED_AT] = published_at
+        array[base + _P_HEARTBEAT] = time.time()
+        if phase_totals:
+            for index, phase in enumerate(PHASES):
+                totals = phase_totals.get(phase)
+                if totals is not None:
+                    array[base + _P_PHASE_SECONDS + index] = totals["seconds"]
+                    array[base + _P_PHASE_COUNTS + index] = totals["count"]
+
+    # ------------------------------------------------------------------ #
+    # worker side (single writer per claimed slot)
+    # ------------------------------------------------------------------ #
+    def _slot_base(self, slot: int) -> int:
+        if not 0 <= slot < MAX_WORKER_SLOTS:
+            raise IndexError(f"worker slot {slot} out of range")
+        return _HEADER_SLOTS + _PUBLISHER_SLOTS + slot * _WORKER_SLOT_SIZE
+
+    def claim_worker_slot(self, pid: Optional[int] = None, preferred: Optional[int] = None) -> int:
+        """Claim a worker slot for ``pid`` and zero its counters.
+
+        ``preferred`` (the cluster-assigned worker index) wins when free or
+        already ours; standalone workers fall back to the first slot that
+        is unclaimed or holds our own pid (a restart).  Claims are not
+        atomic — the cluster avoids races by assigning distinct
+        ``preferred`` indices up front.
+        """
+        if pid is None:
+            pid = os.getpid()
+        candidates = []
+        if preferred is not None:
+            candidates.append(preferred)
+        candidates.extend(i for i in range(MAX_WORKER_SLOTS) if i != preferred)
+        array = self._array
+        for slot in candidates:
+            base = self._slot_base(slot)
+            holder = int(array[base + _W_PID])
+            if holder in (0, pid) or (preferred is not None and slot == preferred):
+                array[base : base + _WORKER_SLOT_SIZE] = 0.0
+                array[base + _W_PID] = float(pid)
+                array[base + _W_HEARTBEAT] = time.time()
+                return slot
+        raise RuntimeError("no free worker stats slot")
+
+    def release_worker_slot(self, slot: int) -> None:
+        """Mark a slot reusable (clean worker shutdown)."""
+        self._array[self._slot_base(slot) + _W_PID] = 0.0
+
+    def record_worker_batch(
+        self,
+        slot: int,
+        queries: int,
+        elapsed_s: float,
+        staleness_s: float,
+        version: int,
+    ) -> None:
+        """Account one answered query batch to a worker slot."""
+        base = self._slot_base(slot)
+        array = self._array
+        array[base + _W_QUERIES] += queries
+        array[base + _W_BATCHES] += 1.0
+        array[base + _W_BUSY] += elapsed_s
+        array[base + _W_VERSION] = version
+        array[base + _W_STALENESS] = staleness_s
+        array[base + _W_LAT_SUM] += elapsed_s
+        array[base + _W_LAT_COUNT] += 1.0
+        array[base + _W_HEARTBEAT] = time.time()
+        array[base + _W_BUCKET0 + bisect_left(LATENCY_BUCKETS_S, elapsed_s)] += 1.0
+
+    def worker_heartbeat(self, slot: int, staleness_s: float, version: int) -> None:
+        """Refresh liveness fields between batches (idle/ping path)."""
+        base = self._slot_base(slot)
+        array = self._array
+        array[base + _W_VERSION] = version
+        array[base + _W_STALENESS] = staleness_s
+        array[base + _W_HEARTBEAT] = time.time()
+
+    # ------------------------------------------------------------------ #
+    # reader side
+    # ------------------------------------------------------------------ #
+    def read(self) -> Dict[str, object]:
+        """Copy-out snapshot of the whole segment (plain Python types).
+
+        Lock-free: a concurrent writer may tear a multi-field view — see
+        the module docstring for why that is acceptable here.
+        """
+        array = self._array
+        base = _HEADER_SLOTS
+        phases = {}
+        for index, phase in enumerate(PHASES):
+            seconds = float(array[base + _P_PHASE_SECONDS + index])
+            count = float(array[base + _P_PHASE_COUNTS + index])
+            if count or seconds:
+                phases[phase] = {"seconds": seconds, "count": int(count)}
+        publisher = {
+            "points_ingested": float(array[base + _P_POINTS]),
+            "publishes": float(array[base + _P_PUBLISHES]),
+            "last_published_at": float(array[base + _P_PUBLISHED_AT]),
+            "heartbeat": float(array[base + _P_HEARTBEAT]),
+            "phases": phases,
+        }
+        workers: List[Dict[str, object]] = []
+        for slot in range(MAX_WORKER_SLOTS):
+            slot_base = self._slot_base(slot)
+            pid = int(array[slot_base + _W_PID])
+            if pid == 0:
+                continue
+            workers.append(
+                {
+                    "slot": slot,
+                    "pid": pid,
+                    "heartbeat": float(array[slot_base + _W_HEARTBEAT]),
+                    "queries": float(array[slot_base + _W_QUERIES]),
+                    "batches": float(array[slot_base + _W_BATCHES]),
+                    "busy_seconds": float(array[slot_base + _W_BUSY]),
+                    "snapshot_version": int(array[slot_base + _W_VERSION]),
+                    "snapshot_staleness_s": float(array[slot_base + _W_STALENESS]),
+                    "latency_sum_s": float(array[slot_base + _W_LAT_SUM]),
+                    "latency_count": float(array[slot_base + _W_LAT_COUNT]),
+                    "latency_bucket_counts": [
+                        float(c)
+                        for c in array[slot_base + _W_BUCKET0 : slot_base + _W_BUCKET0 + _N_BUCKETS]
+                    ],
+                }
+            )
+        return {
+            "token_segment": self._shm.name,
+            "latency_buckets_s": list(LATENCY_BUCKETS_S),
+            "publisher": publisher,
+            "workers": workers,
+        }
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this process's mapping."""
+        self._array = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment (also covered by ``cleanup_segments``)."""
+        unlink_segment(self._shm)

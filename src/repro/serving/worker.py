@@ -57,6 +57,8 @@ def run_worker(
     conn: Any,
     nice: int = WORKER_NICE,
     poll_interval_s: float = 0.0,
+    stats_slot: Optional[int] = None,
+    stats: bool = True,
 ) -> None:
     """Serve prediction batches over ``conn`` until a ``stop`` message.
 
@@ -70,6 +72,13 @@ def run_worker(
     ``poll_interval_s`` rate-limits the control-block poll; ``0`` polls on
     every batch (the control read is two struct unpacks, so per-batch
     polling costs almost nothing and bounds staleness at one batch).
+
+    ``stats`` toggles publication into the token's shared-memory stats
+    block (:class:`~repro.serving.stats.StatsBlock`); ``stats_slot`` is
+    the preferred slot — :class:`~repro.serving.cluster.ServingCluster`
+    passes the worker index so slots never race.  Stats publication is
+    best-effort: any stats-block failure disables it without touching
+    query serving.
     """
     if nice:
         try:
@@ -87,6 +96,19 @@ def run_worker(
         "snapshot_generation": 0,
         "snapshot_staleness_s": float("inf"),
     }
+    stats_block = None
+    slot = None
+    if stats:
+        try:
+            from repro.serving.stats import StatsBlock
+
+            stats_block, _ = StatsBlock.create_or_attach(token)
+            slot = stats_block.claim_worker_slot(os.getpid(), preferred=stats_slot)
+            counters["stats_slot"] = slot
+        except Exception:  # pragma: no cover - stats must never block serving
+            if stats_block is not None:
+                stats_block.close()
+            stats_block = None
     last_poll = 0.0
     try:
         while True:
@@ -101,6 +123,10 @@ def run_worker(
                 current = _refresh(reader, counters)
                 if current is not None:
                     counters["snapshot_staleness_s"] = current.staleness_s()
+                if stats_block is not None and current is not None:
+                    stats_block.worker_heartbeat(
+                        slot, counters["snapshot_staleness_s"], current.version
+                    )
                 conn.send(("pong", {**counters, **reader.counters}))
                 continue
             if kind != "predict":  # pragma: no cover - protocol misuse
@@ -117,16 +143,29 @@ def run_worker(
                 conn.send(("unavailable", "no snapshot published yet"))
                 continue
             try:
+                started = time.perf_counter()
                 labels = current.snapshot.predict_many(
                     np.asarray(points), stable=stable
                 )
+                elapsed = time.perf_counter() - started
             except Exception as exc:  # bad query must not kill the worker
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
                 continue
             counters["batches"] += 1
             counters["queries"] += len(labels)
-            conn.send(("ok", labels, current.version, current.staleness_s()))
+            staleness = current.staleness_s()
+            if stats_block is not None:
+                stats_block.record_worker_batch(
+                    slot, len(labels), elapsed, staleness, current.version
+                )
+            conn.send(("ok", labels, current.version, staleness))
     finally:
+        if stats_block is not None:
+            try:
+                stats_block.release_worker_slot(slot)
+                stats_block.close()
+            except Exception:  # pragma: no cover
+                pass
         reader.close()
         try:
             conn.close()

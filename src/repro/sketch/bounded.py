@@ -36,6 +36,7 @@ from repro.core.cellstore import CellStore
 from repro.core.decay import DecayModel
 from repro.core.reservoir import OutlierReservoir
 from repro.core.soa import CellArrays
+from repro.obs.timing import NULL_TELEMETRY
 from repro.sketch.bloom import BloomFilter
 from repro.sketch.cms import DecayedCountMinSketch
 
@@ -242,6 +243,8 @@ class BoundedCellStore:
         self.cap_overflows = 0
         #: Highest total footprint ever sampled.
         self.peak_bytes = 0
+        #: Telemetry facade; the owning model swaps in its own when enabled.
+        self.obs = NULL_TELEMETRY
 
     # ------------------------------------------------------------------ #
     # accounting
@@ -353,20 +356,26 @@ class BoundedCellStore:
         n = min(int(n), len(inactive))
         if n <= 0:
             return 0
-        slots = inactive.slots()
-        last_update = self.arena.last_update[slots]
-        order = np.argsort(last_update, kind="stable")[:n]
-        ids = inactive.ids_array()[order]
-        decay_rate = self.tier.decay.rate
-        density = self.arena.density
-        for cell_id in ids.tolist():
-            slot = self.arena.slot_of(cell_id)
-            elapsed = max(0.0, now - float(self.arena.last_update[slot]))
-            decayed = float(density[slot]) * decay_rate**elapsed
-            self.tier.evict(self.arena.seed_of(slot), decayed, now)
-            self.reservoir.pop(cell_id)
-            inactive.remove(cell_id)
-            self.arena.release(cell_id)
+        with self.obs.phase("sketch_evict"):
+            slots = inactive.slots()
+            last_update = self.arena.last_update[slots]
+            order = np.argsort(last_update, kind="stable")[:n]
+            ids = inactive.ids_array()[order]
+            decay_rate = self.tier.decay.rate
+            density = self.arena.density
+            for cell_id in ids.tolist():
+                slot = self.arena.slot_of(cell_id)
+                elapsed = max(0.0, now - float(self.arena.last_update[slot]))
+                decayed = float(density[slot]) * decay_rate**elapsed
+                self.tier.evict(self.arena.seed_of(slot), decayed, now)
+                self.reservoir.pop(cell_id)
+                inactive.remove(cell_id)
+                self.arena.release(cell_id)
+        if self.obs.enabled:
+            self.obs.counter("cells_evicted_total").inc(int(ids.size))
+            self.obs.record_event(
+                "cell_evicted", time=now, count=int(ids.size), kind_detail="sweep"
+            )
         return int(ids.size)
 
     # ------------------------------------------------------------------ #
@@ -379,9 +388,13 @@ class BoundedCellStore:
         neighborhoods.  The caller adds it on top of the new cell's own
         first point and reports the revival back via the tier counters.
         """
-        estimate = self.tier.estimate(point, now)
+        with self.obs.phase("sketch_revive"):
+            estimate = self.tier.estimate(point, now)
         if estimate > 0.0:
             self.tier.record_revival(estimate)
+            if self.obs.enabled:
+                self.obs.counter("cells_revived_total").inc()
+                self.obs.record_event("cell_revived", time=now, density=estimate)
         return estimate
 
 

@@ -100,7 +100,7 @@ class TestFleetCommand:
     def test_fleet_list_shows_planned_runs(self, capsys):
         assert main(["fleet", "list", "--tag", "bench", "--seed", "3"]) == 0
         output = capsys.readouterr().out
-        assert "matrix bench: 4 runs" in output
+        assert "matrix bench: 5 runs" in output
         assert "query--seed=3" in output
         assert "BENCH_query.json" in output
 

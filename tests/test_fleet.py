@@ -82,6 +82,7 @@ class TestPlanning:
         assert sorted(registry.experiments_with_tag("bench")) == [
             "fig10_batch",
             "memory",
+            "obs",
             "query",
             "serve",
         ]

@@ -298,6 +298,18 @@ class TestServingCluster:
             assert summary["snapshot_staleness_s"] < 60.0
             assert all(w["alive"] for w in summary["workers"])
 
+            # The shared-memory stats block carries the live serving surface.
+            stats = summary["stats"]
+            assert stats is not None
+            assert stats["publisher"]["publishes"] >= 1
+            assert stats["publisher"]["points_ingested"] > 0
+            assert stats["publisher"]["phases"]["assign"]["count"] > 0
+            assert len(stats["workers"]) == 2
+            served = {w["slot"]: w for w in stats["workers"]}
+            assert served[0]["queries"] >= len(QUERIES)
+            assert served[0]["latency_count"] >= 1
+            assert served[0]["snapshot_version"] >= 1
+
             async def through_frontend():
                 backend = WorkerPoolBackend(cluster.connections)
                 front = MicroBatchFrontend(backend, max_batch=8, max_delay=0.005)
@@ -339,6 +351,12 @@ class TestServingCluster:
             entry = health["workers"][1]
             assert entry["restarted"]
             assert cluster.counters["worker_restarts"] == 1
+            # Satellite: restart provenance is part of the health surface.
+            assert entry["restarts"] == 1
+            assert "SIGKILL" in entry["last_exit_reason"]
+            survivor = health["workers"][0]
+            assert survivor["restarts"] == 0
+            assert survivor["last_exit_reason"] is None
             # The replacement runs on the same token: it re-handshakes and
             # serves queries again, while the survivor was never touched.
             cluster.wait_until_serving(timeout_s=60.0)
